@@ -1,0 +1,176 @@
+// Package pipetrace collects sim/cpu pipeline events into per-instruction
+// lifecycles and renders them as text — the instruction-level view of the
+// paper's Figure 3 timeline. It makes replay windows visible: each
+// replayed instruction appears once per window, fetched and issued but
+// squashed instead of retired, until the final window where it retires.
+package pipetrace
+
+import (
+	"fmt"
+	"strings"
+
+	"microscope/sim/cpu"
+)
+
+// Life is one dynamic instruction's trip through the pipeline. Zero cycle
+// values mean the stage was never reached.
+type Life struct {
+	Context  int
+	PC       int
+	Instr    string
+	Fetch    uint64
+	Issue    uint64
+	Complete uint64
+	Retire   uint64
+	Squashed bool
+	Faulted  bool
+}
+
+// Collector implements cpu.Tracer.
+type Collector struct {
+	lives []Life
+	// open maps (context, pc) to indices of lives not yet terminated.
+	open map[[2]int][]int
+	// Limit stops collection after this many lives (0 = unlimited).
+	Limit int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector(limit int) *Collector {
+	return &Collector{open: make(map[[2]int][]int), Limit: limit}
+}
+
+// Trace implements cpu.Tracer.
+func (c *Collector) Trace(ev cpu.Event) {
+	key := [2]int{ev.Context, ev.PC}
+	switch ev.Kind {
+	case cpu.EvFetch:
+		if c.Limit > 0 && len(c.lives) >= c.Limit {
+			return
+		}
+		c.lives = append(c.lives, Life{
+			Context: ev.Context,
+			PC:      ev.PC,
+			Instr:   ev.Instr.String(),
+			Fetch:   ev.Cycle,
+		})
+		c.open[key] = append(c.open[key], len(c.lives)-1)
+	case cpu.EvIssue:
+		if i, ok := c.newest(key); ok {
+			c.lives[i].Issue = ev.Cycle
+		}
+	case cpu.EvComplete:
+		if i, ok := c.newest(key); ok {
+			c.lives[i].Complete = ev.Cycle
+		}
+	case cpu.EvRetire:
+		if i, ok := c.newest(key); ok {
+			c.lives[i].Retire = ev.Cycle
+			c.close(key, i)
+		}
+	case cpu.EvFault:
+		if i, ok := c.newest(key); ok {
+			c.lives[i].Faulted = true
+			c.close(key, i)
+		}
+	}
+}
+
+func (c *Collector) newest(key [2]int) (int, bool) {
+	s := c.open[key]
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[len(s)-1], true
+}
+
+func (c *Collector) close(key [2]int, idx int) {
+	s := c.open[key]
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == idx {
+			c.open[key] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// Finalize marks every still-open life as squashed (called once stepping
+// is done; squashes have no per-instruction events).
+func (c *Collector) Finalize() {
+	for _, idxs := range c.open {
+		for _, i := range idxs {
+			if c.lives[i].Retire == 0 && !c.lives[i].Faulted {
+				c.lives[i].Squashed = true
+			}
+		}
+	}
+	c.open = make(map[[2]int][]int)
+}
+
+// Lives returns the collected lifecycles in fetch order.
+func (c *Collector) Lives() []Life { return append([]Life(nil), c.lives...) }
+
+// Windows groups a context's lives into replay windows: a new window
+// starts after each faulted life. (The faulting instruction terminates
+// its window.)
+func (c *Collector) Windows(context int) [][]Life {
+	var out [][]Life
+	var cur []Life
+	for _, l := range c.lives {
+		if l.Context != context {
+			continue
+		}
+		cur = append(cur, l)
+		if l.Faulted {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Render draws lives as a table.
+func Render(lives []Life) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-24s %10s %10s %10s %10s  %s\n",
+		"pc", "instr", "fetch", "issue", "complete", "retire", "fate")
+	for _, l := range lives {
+		fate := "retired"
+		switch {
+		case l.Faulted:
+			fate = "FAULT"
+		case l.Squashed:
+			fate = "squashed"
+		case l.Retire == 0:
+			fate = "in flight"
+		}
+		fmt.Fprintf(&sb, "%-4d %-24s %10s %10s %10s %10s  %s\n",
+			l.PC, l.Instr, cyc(l.Fetch), cyc(l.Issue), cyc(l.Complete), cyc(l.Retire), fate)
+	}
+	return sb.String()
+}
+
+func cyc(v uint64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Summary reports per-fate counts for a set of lives.
+func Summary(lives []Life) (retired, squashed, faulted int) {
+	for _, l := range lives {
+		switch {
+		case l.Faulted:
+			faulted++
+		case l.Squashed:
+			squashed++
+		case l.Retire != 0:
+			retired++
+		}
+	}
+	return retired, squashed, faulted
+}

@@ -1,0 +1,189 @@
+package pipetrace
+
+import (
+	"strings"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+func TestCollectorLifecycle(t *testing.T) {
+	phys := mem.NewPhysMem(16 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	as, err := mem.NewAddressSpace(phys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Context(0).SetAddressSpace(as)
+	col := NewCollector(0)
+	core.SetTracer(col)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, 5).
+		AddImm(isa.R2, isa.R1, 3).
+		Halt().MustBuild()
+	core.Context(0).SetProgram(prog, 0)
+	core.Run(10_000)
+	col.Finalize()
+
+	lives := col.Lives()
+	if len(lives) != 3 {
+		t.Fatalf("lives = %d, want 3", len(lives))
+	}
+	for i, l := range lives {
+		if l.Fetch == 0 || l.Issue == 0 || l.Complete == 0 || l.Retire == 0 {
+			t.Errorf("life %d has missing stages: %+v", i, l)
+		}
+		if l.Fetch > l.Issue || l.Issue > l.Complete || l.Complete > l.Retire {
+			t.Errorf("life %d stages out of order: %+v", i, l)
+		}
+		if l.Squashed || l.Faulted {
+			t.Errorf("life %d marked %+v", i, l)
+		}
+	}
+	retired, squashed, faulted := Summary(lives)
+	if retired != 3 || squashed != 0 || faulted != 0 {
+		t.Errorf("summary = %d/%d/%d", retired, squashed, faulted)
+	}
+}
+
+func TestCollectorMarksSquashAndFault(t *testing.T) {
+	phys := mem.NewPhysMem(16 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	as, err := mem.NewAddressSpace(phys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Context(0).SetAddressSpace(as)
+	va := mem.Addr(0x40_0000)
+	if _, err := as.MapNew(va, mem.FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.SetPresent(va, false); err != nil {
+		t.Fatal(err)
+	}
+	core.SetFaultHandler(cpu.FaultHandlerFunc(func(f cpu.PageFault) cpu.FaultOutcome {
+		return cpu.FaultOutcome{Terminate: true}
+	}))
+	col := NewCollector(0)
+	core.SetTracer(col)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(va)).
+		Load(isa.R2, isa.R1, 0). // faults
+		MovImm(isa.R3, 9).       // speculatively executed, squashed
+		Halt().MustBuild()
+	core.Context(0).SetProgram(prog, 0)
+	core.Run(1_000_000)
+	col.Finalize()
+
+	_, squashed, faulted := Summary(col.Lives())
+	if faulted != 1 {
+		t.Errorf("faulted = %d, want 1", faulted)
+	}
+	if squashed == 0 {
+		t.Error("no squashed lives recorded")
+	}
+
+	out := Render(col.Lives())
+	if !strings.Contains(out, "FAULT") || !strings.Contains(out, "squashed") {
+		t.Errorf("render missing fates:\n%s", out)
+	}
+}
+
+func TestWindowsSplitAtFaults(t *testing.T) {
+	c := NewCollector(0)
+	mk := func(pc int, kinds ...cpu.EventKind) {
+		for i, k := range kinds {
+			c.Trace(cpu.Event{Cycle: uint64(10*pc + i + 1), Context: 0, Kind: k, PC: pc})
+		}
+	}
+	mk(0, cpu.EvFetch, cpu.EvIssue, cpu.EvComplete, cpu.EvRetire)
+	mk(1, cpu.EvFetch, cpu.EvIssue, cpu.EvComplete, cpu.EvFault)
+	mk(2, cpu.EvFetch) // speculative, open
+	mk(1, cpu.EvFetch, cpu.EvIssue, cpu.EvComplete, cpu.EvRetire)
+	c.Finalize()
+
+	w := c.Windows(0)
+	if len(w) != 2 {
+		t.Fatalf("windows = %d, want 2", len(w))
+	}
+	if len(w[0]) != 2 || !w[0][1].Faulted {
+		t.Errorf("window 0 = %+v", w[0])
+	}
+	if len(w[1]) != 2 {
+		t.Errorf("window 1 = %+v", w[1])
+	}
+	if !w[1][0].Squashed {
+		t.Error("speculative life not squashed by Finalize")
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	c := NewCollector(2)
+	for pc := 0; pc < 5; pc++ {
+		c.Trace(cpu.Event{Kind: cpu.EvFetch, PC: pc, Cycle: uint64(pc + 1)})
+	}
+	if len(c.Lives()) != 2 {
+		t.Errorf("limit not enforced: %d lives", len(c.Lives()))
+	}
+}
+
+func TestReplayWindowsShowReexecution(t *testing.T) {
+	// Against a replaying handler, the same PC must appear in several
+	// windows: fetched+issued each time, squashed in all but the last.
+	phys := mem.NewPhysMem(16 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	as, err := mem.NewAddressSpace(phys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Context(0).SetAddressSpace(as)
+	handle := mem.Addr(0x40_0000)
+	if _, err := as.MapNew(handle, mem.FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.SetPresent(handle, false); err != nil {
+		t.Fatal(err)
+	}
+	faults := 0
+	core.SetFaultHandler(cpu.FaultHandlerFunc(func(f cpu.PageFault) cpu.FaultOutcome {
+		faults++
+		if faults >= 3 {
+			if _, err := as.SetPresent(handle, true); err != nil {
+				panic(err)
+			}
+		}
+		return cpu.FaultOutcome{HandlerLatency: 50}
+	}))
+	col := NewCollector(0)
+	core.SetTracer(col)
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(handle)).
+		Load(isa.R2, isa.R1, 0).
+		MovImm(isa.R3, 7). // the replayed transmit stand-in
+		Halt().MustBuild()
+	core.Context(0).SetProgram(prog, 0)
+	core.Run(1_000_000)
+	col.Finalize()
+
+	// pc=2 (movi r3) must have several lives: squashed ones per replay
+	// plus one retired.
+	var squashed, retired int
+	for _, l := range col.Lives() {
+		if l.PC != 2 {
+			continue
+		}
+		switch {
+		case l.Squashed:
+			squashed++
+		case l.Retire != 0:
+			retired++
+		}
+	}
+	if squashed < 2 || retired != 1 {
+		t.Errorf("pc=2 lives: %d squashed, %d retired; want >=2 and 1", squashed, retired)
+	}
+}

@@ -1,0 +1,89 @@
+package sidechan
+
+import "math"
+
+// Leakage quantification for replay channels. Each replay yields one
+// noisy observation of a secret bit; the channel is a binary symmetric
+// channel with some error probability, and replaying multiplies the
+// attacker's samples — MicroScope's whole point is driving the effective
+// error rate to zero within one logical victim run.
+
+// EntropyBits returns the binary entropy H(p) in bits.
+func EntropyBits(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// BinaryChannelCapacity returns the capacity (bits per observation) of a
+// binary symmetric channel with crossover probability p: 1 − H(p).
+func BinaryChannelCapacity(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	if p > 0.5 {
+		p = 1 - p
+	}
+	return 1 - EntropyBits(p)
+}
+
+// ObservationErrorRate returns the fraction of observations that disagree
+// with the true bit.
+func ObservationErrorRate(obs []bool, truth bool) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	wrong := 0
+	for _, o := range obs {
+		if o != truth {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(obs))
+}
+
+// ReplaysForErrorBound returns the number of replays a majority vote
+// needs so that the Chernoff bound on its error probability drops below
+// target, given per-observation error rate p (< 0.5). It returns 1 for a
+// noiseless channel and -1 when p ≥ 0.5 (no majority can help).
+//
+// Chernoff: P(majority wrong) ≤ exp(−2n(0.5−p)²).
+func ReplaysForErrorBound(p, target float64) int {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 0.5 || target <= 0 || target >= 1 {
+		return -1
+	}
+	gap := 0.5 - p
+	n := math.Log(target) / (-2 * gap * gap)
+	out := int(math.Ceil(n))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// LeakageReport summarizes a replay channel's quality.
+type LeakageReport struct {
+	ErrorRate       float64
+	BitsPerReplay   float64
+	ReplaysFor1e3   int // replays for ≤0.1% majority error
+	ObservedDenoise int // replays the actual majority vote needed (from ReplaysToConfidence)
+}
+
+// AnalyzeReplayChannel builds a LeakageReport from per-replay boolean
+// observations of a known truth bit.
+func AnalyzeReplayChannel(obs []bool, truth bool) LeakageReport {
+	p := ObservationErrorRate(obs, truth)
+	return LeakageReport{
+		ErrorRate:       p,
+		BitsPerReplay:   BinaryChannelCapacity(p),
+		ReplaysFor1e3:   ReplaysForErrorBound(p, 1e-3),
+		ObservedDenoise: ReplaysToConfidence(obs, 0.9),
+	}
+}

@@ -1,0 +1,173 @@
+// Package sidechan provides side-channel analysis utilities: threshold
+// calibration and classification for latency traces, replay-confidence
+// estimation, and the taxonomy of SGX side channels from the paper's
+// Table 1.
+package sidechan
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/analysis/stats"
+)
+
+// CalibrateThreshold derives a contention threshold from a quiet
+// (no-contention) trace, as the paper does for Fig. 10: "all but 4 of the
+// samples take less than 120 cycles. Hence, we set the contention
+// threshold to slightly less than 120 cycles." The returned threshold is
+// the given quantile of the quiet distribution plus a small guard band.
+func CalibrateThreshold(quiet []uint64, quantile float64, guard uint64) uint64 {
+	if len(quiet) == 0 {
+		return guard
+	}
+	q := stats.QuantileU64(quiet, quantile)
+	return uint64(q) + guard
+}
+
+// Classification is the verdict of a threshold classifier over a trace.
+type Classification struct {
+	Threshold uint64
+	Over      int
+	Total     int
+}
+
+// Rate returns the fraction of samples over threshold.
+func (c Classification) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Over) / float64(c.Total)
+}
+
+// Classify counts over-threshold samples.
+func Classify(samples []uint64, threshold uint64) Classification {
+	return Classification{
+		Threshold: threshold,
+		Over:      stats.CountAbove(samples, threshold),
+		Total:     len(samples),
+	}
+}
+
+// DistinguishResult compares two traces under one threshold — the
+// Fig. 10a-vs-10b decision.
+type DistinguishResult struct {
+	Threshold  uint64
+	OverA      int
+	OverB      int
+	Separation float64 // OverB / max(OverA, 1)
+}
+
+// Distinguish calibrates on trace A (quiet) and classifies both traces.
+// A separation ≫ 1 means the traces are reliably distinguishable.
+func Distinguish(a, b []uint64, quantile float64, guard uint64) DistinguishResult {
+	th := CalibrateThreshold(a, quantile, guard)
+	overA := stats.CountAbove(a, th)
+	overB := stats.CountAbove(b, th)
+	den := overA
+	if den == 0 {
+		den = 1
+	}
+	return DistinguishResult{
+		Threshold:  th,
+		OverA:      overA,
+		OverB:      overB,
+		Separation: float64(overB) / float64(den),
+	}
+}
+
+// MajorityVote reduces per-replay boolean observations to a verdict and a
+// confidence (fraction agreeing with the majority) — the denoising
+// primitive: each replay is one noisy sample (§4.1.4 step 6).
+func MajorityVote(observations []bool) (verdict bool, confidence float64) {
+	if len(observations) == 0 {
+		return false, 0
+	}
+	yes := 0
+	for _, o := range observations {
+		if o {
+			yes++
+		}
+	}
+	verdict = yes*2 >= len(observations)
+	agree := yes
+	if !verdict {
+		agree = len(observations) - yes
+	}
+	return verdict, float64(agree) / float64(len(observations))
+}
+
+// ReplaysToConfidence returns the smallest prefix of observations whose
+// majority vote reaches the target confidence, or -1 if never reached.
+func ReplaysToConfidence(observations []bool, target float64) int {
+	for n := 1; n <= len(observations); n++ {
+		if _, conf := MajorityVote(observations[:n]); conf >= target {
+			return n
+		}
+	}
+	return -1
+}
+
+// LatencyBands classifies probe latencies into named bands (the L1 /
+// L2-L3 / memory bands of Fig. 11). Bounds are upper-exclusive latencies
+// per band, ascending; the last band is unbounded.
+type LatencyBands struct {
+	Names  []string
+	Bounds []uint64 // len = len(Names)-1
+}
+
+// DefaultCacheBands matches the simulator's hierarchy latencies.
+func DefaultCacheBands() LatencyBands {
+	return LatencyBands{
+		Names:  []string{"L1", "L2/L3", "Mem"},
+		Bounds: []uint64{10, 100},
+	}
+}
+
+// Band returns the band index and name for a latency.
+func (b LatencyBands) Band(lat uint64) (int, string) {
+	for i, bound := range b.Bounds {
+		if lat < bound {
+			return i, b.Names[i]
+		}
+	}
+	return len(b.Names) - 1, b.Names[len(b.Names)-1]
+}
+
+// BandCounts tallies samples per band.
+func (b LatencyBands) BandCounts(samples []uint64) map[string]int {
+	out := make(map[string]int, len(b.Names))
+	for _, s := range samples {
+		_, name := b.Band(s)
+		out[name]++
+	}
+	return out
+}
+
+// DistinctBands returns how many different bands the samples span —
+// Fig. 11's replay 0 spans ≥3 bands, replays 1-2 exactly 2.
+func (b LatencyBands) DistinctBands(samples []uint64) int {
+	seen := map[int]bool{}
+	for _, s := range samples {
+		i, _ := b.Band(s)
+		seen[i] = true
+	}
+	return len(seen)
+}
+
+// FormatBandTable renders per-address band assignments as the Fig. 11
+// presentation (one row per cache line).
+func FormatBandTable(lats []uint64, bands LatencyBands) string {
+	var sb []byte
+	for i, l := range lats {
+		_, name := bands.Band(l)
+		sb = append(sb, fmt.Sprintf("line %2d: %5d cycles  %s\n", i, l, name)...)
+	}
+	return string(sb)
+}
+
+// SortedCopy returns a sorted copy of xs (test/report helper).
+func SortedCopy(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

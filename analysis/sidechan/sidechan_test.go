@@ -1,0 +1,224 @@
+package sidechan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrateThreshold(t *testing.T) {
+	quiet := make([]uint64, 100)
+	for i := range quiet {
+		quiet[i] = 50
+	}
+	quiet[99] = 200 // one outlier
+	th := CalibrateThreshold(quiet, 0.98, 5)
+	if th < 55 || th > 100 {
+		t.Errorf("threshold = %d, want ~55", th)
+	}
+	if CalibrateThreshold(nil, 0.99, 7) != 7 {
+		t.Error("empty calibration != guard")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := Classify([]uint64{10, 20, 150, 300}, 100)
+	if c.Over != 2 || c.Total != 4 {
+		t.Errorf("classify = %+v", c)
+	}
+	if c.Rate() != 0.5 {
+		t.Errorf("rate = %v", c.Rate())
+	}
+	if (Classification{}).Rate() != 0 {
+		t.Error("empty rate != 0")
+	}
+}
+
+func TestDistinguish(t *testing.T) {
+	quiet := make([]uint64, 1000)
+	noisy := make([]uint64, 1000)
+	for i := range quiet {
+		quiet[i] = 60
+		noisy[i] = 60
+	}
+	// 64 contended samples in the "div" trace, 4 outliers in the "mul".
+	for i := 0; i < 4; i++ {
+		quiet[i] = 200
+	}
+	for i := 0; i < 64; i++ {
+		noisy[i] = 200
+	}
+	res := Distinguish(quiet, noisy, 0.995, 2)
+	if res.OverB <= res.OverA {
+		t.Errorf("no separation: %+v", res)
+	}
+	if res.Separation < 10 {
+		t.Errorf("separation = %v, want >= 10 (paper: 16x)", res.Separation)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	v, conf := MajorityVote([]bool{true, true, true, false})
+	if !v || conf != 0.75 {
+		t.Errorf("vote = %t, %v", v, conf)
+	}
+	v, conf = MajorityVote([]bool{false, false})
+	if v || conf != 1.0 {
+		t.Errorf("vote = %t, %v", v, conf)
+	}
+	if _, conf := MajorityVote(nil); conf != 0 {
+		t.Error("empty vote confidence != 0")
+	}
+}
+
+func TestReplaysToConfidence(t *testing.T) {
+	obs := []bool{true, false, true, true, true, true}
+	n := ReplaysToConfidence(obs, 0.8)
+	if n != 1 { // first observation alone has confidence 1.0
+		t.Errorf("n = %d, want 1", n)
+	}
+	// Alternating observations never reach 0.9.
+	alt := []bool{true, false, true, false}
+	if got := ReplaysToConfidence(alt, 0.9); got != 1 {
+		// prefix of length 1 has confidence 1.0
+		t.Errorf("alt = %d", got)
+	}
+	if got := ReplaysToConfidence(nil, 0.5); got != -1 {
+		t.Errorf("empty = %d, want -1", got)
+	}
+}
+
+func TestLatencyBands(t *testing.T) {
+	b := DefaultCacheBands()
+	cases := map[uint64]string{4: "L1", 16: "L2/L3", 56: "L2/L3", 276: "Mem"}
+	for lat, want := range cases {
+		if _, name := b.Band(lat); name != want {
+			t.Errorf("Band(%d) = %s, want %s", lat, name, want)
+		}
+	}
+	counts := b.BandCounts([]uint64{4, 4, 56, 276})
+	if counts["L1"] != 2 || counts["L2/L3"] != 1 || counts["Mem"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if b.DistinctBands([]uint64{4, 56, 276}) != 3 {
+		t.Error("distinct bands wrong")
+	}
+	if b.DistinctBands([]uint64{4, 4}) != 1 {
+		t.Error("single band wrong")
+	}
+	tbl := FormatBandTable([]uint64{4, 276}, b)
+	if !strings.Contains(tbl, "L1") || !strings.Contains(tbl, "Mem") {
+		t.Errorf("band table: %s", tbl)
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	attacks := Table1()
+	if len(attacks) < 15 {
+		t.Fatalf("registry has %d attacks", len(attacks))
+	}
+	// The paper's claim: MicroScope is the unique fine-grain,
+	// high-resolution, no-noise attack.
+	a, unique := UniqueCell(attacks, FineGrain, HighResolution, false)
+	if !unique {
+		t.Fatal("fine-grain/high-res/no-noise cell not unique")
+	}
+	if !strings.Contains(a.Name, "MicroScope") {
+		t.Errorf("unique attack = %q", a.Name)
+	}
+	// The noisy fine-grain/high-res cell holds the CacheZoom family.
+	if _, unique := UniqueCell(attacks, FineGrain, HighResolution, true); unique {
+		t.Error("noisy high-res cell unexpectedly unique")
+	}
+	out := FormatTable1(attacks)
+	for _, want := range []string{"MicroScope", "PortSmash", "SGX-Step", "No Noise", "With Noise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 rendering missing %q", want)
+		}
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []uint64{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[2] != 3 {
+		t.Errorf("sorted = %v", out)
+	}
+	if in[0] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestEntropyBits(t *testing.T) {
+	if got := EntropyBits(0.5); got < 0.999 || got > 1.001 {
+		t.Errorf("H(0.5) = %v", got)
+	}
+	if EntropyBits(0) != 0 || EntropyBits(1) != 0 {
+		t.Error("H at extremes not 0")
+	}
+	// Symmetry.
+	if d := EntropyBits(0.2) - EntropyBits(0.8); d > 1e-12 || d < -1e-12 {
+		t.Error("entropy not symmetric")
+	}
+}
+
+func TestBinaryChannelCapacity(t *testing.T) {
+	if got := BinaryChannelCapacity(0); got != 1 {
+		t.Errorf("C(0) = %v", got)
+	}
+	if got := BinaryChannelCapacity(0.5); got > 1e-12 {
+		t.Errorf("C(0.5) = %v", got)
+	}
+	// A noisy channel carries strictly less than a clean one.
+	if BinaryChannelCapacity(0.1) >= BinaryChannelCapacity(0.01) {
+		t.Error("capacity not decreasing in noise")
+	}
+	// Symmetric in p vs 1-p (relabeling), up to floating-point noise.
+	if d := BinaryChannelCapacity(0.9) - BinaryChannelCapacity(0.1); d > 1e-9 || d < -1e-9 {
+		t.Errorf("capacity not symmetric (diff %v)", d)
+	}
+}
+
+func TestObservationErrorRate(t *testing.T) {
+	obs := []bool{true, true, false, true}
+	if got := ObservationErrorRate(obs, true); got != 0.25 {
+		t.Errorf("error rate = %v", got)
+	}
+	if ObservationErrorRate(nil, true) != 0 {
+		t.Error("empty error rate not 0")
+	}
+}
+
+func TestReplaysForErrorBound(t *testing.T) {
+	if got := ReplaysForErrorBound(0, 1e-3); got != 1 {
+		t.Errorf("noiseless = %d", got)
+	}
+	if got := ReplaysForErrorBound(0.5, 1e-3); got != -1 {
+		t.Errorf("useless channel = %d", got)
+	}
+	n1 := ReplaysForErrorBound(0.1, 1e-3)
+	n2 := ReplaysForErrorBound(0.4, 1e-3)
+	if n1 <= 0 || n2 <= n1 {
+		t.Errorf("bounds not increasing in noise: %d, %d", n1, n2)
+	}
+	// 0.1 error, 1e-3 target: exp(-2n*0.16) <= 1e-3 -> n >= 21.6.
+	if n1 != 22 {
+		t.Errorf("n(0.1, 1e-3) = %d, want 22", n1)
+	}
+}
+
+func TestAnalyzeReplayChannel(t *testing.T) {
+	obs := []bool{true, false, true, true, true, true, true, true, true, true}
+	rep := AnalyzeReplayChannel(obs, true)
+	if rep.ErrorRate != 0.1 {
+		t.Errorf("error rate = %v", rep.ErrorRate)
+	}
+	if rep.BitsPerReplay <= 0.5 || rep.BitsPerReplay >= 1 {
+		t.Errorf("bits/replay = %v", rep.BitsPerReplay)
+	}
+	if rep.ReplaysFor1e3 != 22 {
+		t.Errorf("replays for 1e-3 = %d", rep.ReplaysFor1e3)
+	}
+	if rep.ObservedDenoise != 1 {
+		t.Errorf("observed denoise = %d", rep.ObservedDenoise)
+	}
+}

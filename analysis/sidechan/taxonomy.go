@@ -1,0 +1,146 @@
+package sidechan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file encodes the paper's Table 1: the characterization of side
+// channel attacks on Intel SGX by spatial granularity, temporal
+// resolution and noise. The `cmd/microscope table1` tool and the Table 1
+// bench regenerate the table from this registry.
+
+// Spatial is the spatial granularity of an attack.
+type Spatial int
+
+// Spatial granularities.
+const (
+	CoarseGrain Spatial = iota // page level or coarser
+	FineGrain                  // cache line or finer
+)
+
+// String returns the label used in Table 1.
+func (s Spatial) String() string {
+	if s == CoarseGrain {
+		return "Coarse Grain"
+	}
+	return "Fine Grain"
+}
+
+// Temporal is the temporal resolution of an attack.
+type Temporal int
+
+// Temporal resolutions.
+const (
+	NoResolution Temporal = iota // the coarse-grain column has no split
+	LowResolution
+	HighResolution // medium/high in the paper's heading
+)
+
+// String returns the label used in Table 1.
+func (t Temporal) String() string {
+	switch t {
+	case LowResolution:
+		return "Low Resolution"
+	case HighResolution:
+		return "Medium/High Resolution"
+	}
+	return "—"
+}
+
+// Attack is one row entry of the taxonomy.
+type Attack struct {
+	Name     string
+	Citation string
+	Spatial  Spatial
+	Temporal Temporal
+	Noisy    bool
+}
+
+// Table1 returns the paper's Table 1 registry.
+func Table1() []Attack {
+	return []Attack{
+		{"Controlled side-channel", "[60]", CoarseGrain, NoResolution, false},
+		{"Sneaky Page Monitoring", "[58]", CoarseGrain, NoResolution, false},
+		{"TLBleed", "[20]", CoarseGrain, NoResolution, true},
+		{"TLB contention", "[25]", CoarseGrain, NoResolution, true},
+		{"DRAMA", "[46]", CoarseGrain, NoResolution, true},
+		{"MicroScope (this work)", "", FineGrain, HighResolution, false},
+		{"SGX Prime+Probe", "[18]", FineGrain, LowResolution, true},
+		{"Software Grand Exposure", "[9]", FineGrain, LowResolution, true},
+		{"CacheBleed", "[64]", FineGrain, LowResolution, true},
+		{"MemJam", "[39]", FineGrain, LowResolution, true},
+		{"PortSmash", "[5]", FineGrain, LowResolution, true},
+		{"FPU subnormal attack", "[7]", FineGrain, LowResolution, true},
+		{"Execution unit contention", "[3, 59]", FineGrain, LowResolution, true},
+		{"BTB contention", "[1, 2]", FineGrain, LowResolution, true},
+		{"BTB collision", "[16]", FineGrain, LowResolution, true},
+		{"Leaky Cauldron", "[58]", FineGrain, LowResolution, true},
+		{"Cache Games", "[22]", FineGrain, HighResolution, true},
+		{"CacheZoom", "[40]", FineGrain, HighResolution, true},
+		{"Hahnel et al.", "[23]", FineGrain, HighResolution, true},
+		{"SGX-Step", "[57]", FineGrain, HighResolution, true},
+	}
+}
+
+// UniqueCell reports whether the (spatial, temporal, noise) cell contains
+// exactly one attack in the registry — the paper's claim is that
+// MicroScope alone achieves fine-grain, high-resolution, no-noise.
+func UniqueCell(attacks []Attack, s Spatial, tm Temporal, noisy bool) (Attack, bool) {
+	var found []Attack
+	for _, a := range attacks {
+		if a.Spatial == s && a.Temporal == tm && a.Noisy == noisy {
+			found = append(found, a)
+		}
+	}
+	if len(found) == 1 {
+		return found[0], true
+	}
+	return Attack{}, false
+}
+
+// FormatTable1 renders the taxonomy grouped as in the paper.
+func FormatTable1(attacks []Attack) string {
+	type cell struct {
+		spatial Spatial
+		temp    Temporal
+		noisy   bool
+	}
+	groups := map[cell][]string{}
+	for _, a := range attacks {
+		c := cell{a.Spatial, a.Temporal, a.Noisy}
+		label := a.Name
+		if a.Citation != "" {
+			label += " " + a.Citation
+		}
+		groups[c] = append(groups[c], label)
+	}
+	keys := make([]cell, 0, len(groups))
+	for c := range groups {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.noisy != b.noisy {
+			return !a.noisy
+		}
+		if a.spatial != b.spatial {
+			return a.spatial < b.spatial
+		}
+		return a.temp < b.temp
+	})
+	var sb strings.Builder
+	sb.WriteString("Table 1: Characterization of side channel attacks on Intel SGX\n\n")
+	for _, c := range keys {
+		noise := "No Noise"
+		if c.noisy {
+			noise = "With Noise"
+		}
+		fmt.Fprintf(&sb, "%s | %s | %s:\n", noise, c.spatial, c.temp)
+		for _, name := range groups[c] {
+			fmt.Fprintf(&sb, "    %s\n", name)
+		}
+	}
+	return sb.String()
+}

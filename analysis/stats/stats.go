@@ -1,0 +1,160 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: summaries, quantiles, histograms and threshold counting
+// over latency samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty input.
+func Summarize(xs []uint64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	fs := make([]float64, len(xs))
+	var sum float64
+	for i, x := range xs {
+		fs[i] = float64(x)
+		sum += fs[i]
+	}
+	sort.Float64s(fs)
+	mean := sum / float64(len(fs))
+	var ss float64
+	for _, f := range fs {
+		d := f - mean
+		ss += d * d
+	}
+	return Summary{
+		N:      len(fs),
+		Min:    fs[0],
+		Max:    fs[len(fs)-1],
+		Mean:   mean,
+		Stddev: math.Sqrt(ss / float64(len(fs))),
+		P50:    Quantile(fs, 0.50),
+		P95:    Quantile(fs, 0.95),
+		P99:    Quantile(fs, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0..1) of sorted data by linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// QuantileU64 is Quantile over unsorted uint64 samples.
+func QuantileU64(xs []uint64, q float64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	sort.Float64s(fs)
+	return Quantile(fs, q)
+}
+
+// CountAbove returns how many samples exceed the threshold.
+func CountAbove(xs []uint64, threshold uint64) int {
+	n := 0
+	for _, x := range xs {
+		if x > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram bins samples into fixed-width buckets over [min, max].
+type Histogram struct {
+	Min, Max   uint64
+	BucketSize uint64
+	Counts     []int
+	Under      int // samples below Min
+	Over       int // samples above Max
+}
+
+// NewHistogram builds a histogram of xs with the given bucket count.
+func NewHistogram(xs []uint64, min, max uint64, buckets int) *Histogram {
+	if buckets <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: bad histogram spec [%d,%d)/%d", min, max, buckets))
+	}
+	size := (max - min + uint64(buckets) - 1) / uint64(buckets)
+	if size == 0 {
+		size = 1
+	}
+	h := &Histogram{Min: min, Max: max, BucketSize: size, Counts: make([]int, buckets)}
+	for _, x := range xs {
+		switch {
+		case x < min:
+			h.Under++
+		case x >= max:
+			h.Over++
+		default:
+			h.Counts[(x-min)/size]++
+		}
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII rows of at most width characters.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	peak := 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Min + uint64(i)*h.BucketSize
+		bar := strings.Repeat("#", c*width/peak)
+		fmt.Fprintf(&sb, "%8d-%-8d %6d %s\n", lo, lo+h.BucketSize-1, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&sb, "%17s %6d (below range)\n", "", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&sb, "%17s %6d (above range)\n", "", h.Over)
+	}
+	return sb.String()
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.0f p50=%.0f mean=%.1f p95=%.0f p99=%.0f max=%.0f sd=%.1f",
+		s.N, s.Min, s.P50, s.Mean, s.P95, s.P99, s.Max, s.Stddev)
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]uint64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Stddev-want) > 1e-9 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.5, 40}, {-1, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+	if QuantileU64([]uint64{40, 10, 30, 20}, 0.5) != 25 {
+		t.Error("QuantileU64 does not sort")
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	xs := []uint64{5, 10, 15, 20}
+	if got := CountAbove(xs, 10); got != 2 {
+		t.Errorf("CountAbove = %d, want 2", got)
+	}
+	if got := CountAbove(xs, 0); got != 4 {
+		t.Errorf("CountAbove(0) = %d", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []uint64{0, 5, 10, 15, 95, 100, 200}
+	h := NewHistogram(xs, 0, 100, 10)
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Over != 2 || h.Under != 0 {
+		t.Errorf("over/under = %d/%d", h.Over, h.Under)
+	}
+	out := h.Render(40)
+	if !strings.Contains(out, "(above range)") {
+		t.Errorf("render missing overflow: %s", out)
+	}
+}
+
+func TestHistogramBadSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad spec accepted")
+		}
+	}()
+	NewHistogram(nil, 10, 10, 5)
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []uint64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q1 = math.Mod(math.Abs(q1), 1)
+		q2 = math.Mod(math.Abs(q2), 1)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		fs := make([]float64, len(raw))
+		for i, x := range raw {
+			fs[i] = float64(x % 1000)
+		}
+		s := append([]float64(nil), fs...)
+		sortFloats(s)
+		return Quantile(s, q1) <= Quantile(s, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(fs []float64) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"testing"
+
+	"microscope/attack/experiments"
+	"microscope/crypto/taes"
+)
+
+func TestControlledChannelPageGranularity(t *testing.T) {
+	for _, secret := range []bool{false, true} {
+		res, err := RunControlledChannel(secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PageSecretCorrect {
+			t.Errorf("secret=%t: page secret not recovered from fault trace %v",
+				secret, res.FaultVPNs)
+		}
+		// The defining limitation: a same-page line secret is invisible.
+		if res.LineSecretVisible {
+			t.Error("line-granular secret visible at page granularity?!")
+		}
+		if len(res.FaultVPNs) == 0 {
+			t.Error("no faults observed")
+		}
+	}
+}
+
+func TestSPMNoFaultsVisibleToVictim(t *testing.T) {
+	for _, secret := range []bool{false, true} {
+		res, err := RunSPM(secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PageSecretCorrect {
+			t.Errorf("secret=%t: A-bit trace wrong: %v", secret, res.AccessedPages)
+		}
+		// SPM's selling point over controlled channels: no AEX storms.
+		if res.VictimObservedFault {
+			t.Error("SPM caused victim-visible faults")
+		}
+		if len(res.AccessedPages) == 0 {
+			t.Error("no accessed pages recorded")
+		}
+	}
+}
+
+// TestPrimeProbeNeedsManyTracesAndLacksResolution quantifies the §2.4
+// contrast: the noisy multi-run baseline needs tens-to-hundreds of victim
+// runs to stabilize a UNION-only observation, while MicroScope recovers
+// exact per-round sets from one run (TestAESFullTraceExtraction).
+func TestPrimeProbeNeedsManyTracesAndLacksResolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trace baseline")
+	}
+	key := []byte("0123456789abcdef")
+	pt := []byte("attack at dawn!!")
+	res, err := RunPrimeProbe(key, pt, 0.20, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("union truth=%016b single-run=%016b tracesTo99=%d",
+		res.UnionTruth, res.SingleRunObserved, res.TracesTo99)
+	if res.PerRoundResolved {
+		t.Error("baseline claims per-round resolution")
+	}
+	// A single noisy trace is usually wrong...
+	if res.SingleRunObserved == res.UnionTruth {
+		t.Log("note: single noisy trace happened to be correct this seed")
+	}
+	// ...and convergence takes many victim runs (each a separate logical
+	// execution, which the run-once threat model forbids).
+	if res.TracesTo99 < 5 {
+		t.Errorf("baseline stabilized after only %d traces; noise model too weak", res.TracesTo99)
+	}
+
+	// The MicroScope comparison: one logical run, exact per-round data.
+	ext, err := experiments.RunAESExtraction(experiments.AESConfig{
+		Key: key, Plaintext: pt, HandlerLatency: 5000, WalkLevels: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := ext.Match(); !ok {
+		t.Fatalf("MicroScope extraction failed: %s", diff)
+	}
+	// MicroScope's union must equal the baseline's target...
+	var union uint16
+	for r := 1; r < ext.Rounds; r++ {
+		union |= ext.Extracted[r][1]
+	}
+	if union != res.UnionTruth {
+		t.Errorf("MicroScope union %016b != baseline truth %016b", union, res.UnionTruth)
+	}
+	// ...with strictly more information (distinct per-round sets).
+	distinct := map[uint16]bool{}
+	for r := 1; r < ext.Rounds; r++ {
+		distinct[ext.Extracted[r][1]] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("per-round sets not distinct; temporal resolution claim vacuous")
+	}
+}
+
+func TestPrimeProbeNoiselessConvergesImmediately(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("attack at dawn!!")
+	res, err := RunPrimeProbe(key, pt, 0, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleRunObserved != res.UnionTruth {
+		t.Errorf("noiseless single run %016b != truth %016b",
+			res.SingleRunObserved, res.UnionTruth)
+	}
+	if res.TracesTo99 != 1 && res.TracesTo99 != -1 {
+		// With zero noise the first estimate is already right; TracesTo99
+		// reports 1 once the stability window fills.
+		t.Logf("tracesTo99 = %d", res.TracesTo99)
+	}
+	_ = taes.LinesPerTable
+}
+
+// TestSGXStepIsHighResolutionButNoisy: interrupt stepping delivers many
+// fine-grained observation points, but single-sample-per-step probing of
+// a run-once victim suffers attribution errors even with a perfect probe
+// (speculative run-ahead pollution, boundary-spanning windows) — the
+// Table 1 "With Noise" classification. MicroScope's replay-based
+// extraction of the same victim makes zero errors
+// (TestAESFullTraceExtraction).
+func TestSGXStepIsHighResolutionButNoisy(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("attack at dawn!!")
+
+	clean, err := RunSGXStep(key, pt, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("perfect probe: steps=%d roundErrors=%d", clean.Steps, clean.RoundErrors)
+	if clean.Steps < 30 {
+		t.Errorf("only %d steps; stepping not fine-grained", clean.Steps)
+	}
+	if clean.RoundErrors == 0 {
+		t.Error("stepping made zero round errors; speculative pollution not modelled?")
+	}
+
+	noisy, err := RunSGXStep(key, pt, 25, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("noisy probe:   steps=%d roundErrors=%d", noisy.Steps, noisy.RoundErrors)
+	if noisy.RoundErrors < clean.RoundErrors {
+		t.Errorf("probe noise reduced errors (%d < %d)?", noisy.RoundErrors, clean.RoundErrors)
+	}
+}
+
+func TestPreemptIsPrecise(t *testing.T) {
+	// Preempting a context must not corrupt its architectural results.
+	res, err := RunSGXStep([]byte("fedcba9876543210"), []byte("0123456789abcdef"), 40, 0)
+	if err != nil {
+		t.Fatal(err) // RunSGXStep verifies the victim halts
+	}
+	if res.Steps == 0 {
+		t.Error("no preemptions delivered")
+	}
+}

@@ -1,0 +1,134 @@
+package defense
+
+import "testing"
+
+func TestTSGXHidesFaultsButAllowsNMinus1Replays(t *testing.T) {
+	const n = 10 // T-SGX's published threshold
+	res, err := RunTSGX(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T-SGX's guarantee holds: the OS never saw a page fault.
+	if res.OSVisibleFaults != 0 {
+		t.Errorf("OS saw %d faults; T-SGX must hide them", res.OSVisibleFaults)
+	}
+	// T-SGX eventually terminates the enclave.
+	if !res.VictimTerminated {
+		t.Error("victim not terminated at the abort budget")
+	}
+	// ...but the attacker still observed the sensitive code's footprint
+	// on (at least) N-1 replays — "such number can be sufficient in many
+	// attacks" (§8).
+	if res.LeakObservations < n-1 {
+		t.Errorf("leak observations = %d, want >= %d", res.LeakObservations, n-1)
+	}
+}
+
+func TestTSGXSmallBudget(t *testing.T) {
+	res, err := RunTSGX(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VictimTerminated || res.LeakObservations < 2 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestDejaVuDetectsNaiveReplay(t *testing.T) {
+	// Budget tolerates one ordinary demand fault (~6000 cycles + region).
+	const threshold = 10_000
+	res, err := RunDejaVu(threshold, 5, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Errorf("5 replays at 5000-cycle handler not detected (elapsed %d)", res.Elapsed)
+	}
+	if !res.Leaked {
+		t.Error("attack leaked nothing before detection")
+	}
+}
+
+func TestDejaVuEvadedByMaskedReplays(t *testing.T) {
+	// The paper's bypass: keep the added delay within the budget the
+	// victim must tolerate for ordinary faults. Two fast replays fit
+	// under a one-demand-fault threshold.
+	const threshold = 10_000
+	res, err := RunDejaVu(threshold, 2, 1_200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Errorf("masked replays detected (elapsed %d >= %d)", res.Elapsed, threshold)
+	}
+	if !res.Leaked {
+		t.Error("masked attack leaked nothing")
+	}
+	if res.Replays != 2 {
+		t.Errorf("replays = %d, want 2", res.Replays)
+	}
+}
+
+func TestPFObliviousnessHelpsTheAttacker(t *testing.T) {
+	res, err := RunPFOblivious()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defense achieves its goal at page granularity...
+	if !res.PageTraceEqual {
+		t.Error("page traces differ between secrets; transformation broken")
+	}
+	// ...while donating extra replay handles...
+	if res.HandleCandidates < 4 {
+		t.Errorf("handle candidates = %d, want >= 4", res.HandleCandidates)
+	}
+	// ...and the secret still falls to the cache-line channel.
+	if !res.SecretRecovered {
+		t.Error("MicroScope failed to recover the secret from the oblivious victim")
+	}
+}
+
+func TestFenceAfterFlushBlocksReplayWindows(t *testing.T) {
+	res, err := RunFenceAfterFlush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeakyWindowsWithout < 4 {
+		t.Fatalf("baseline leaked in only %d windows; experiment broken",
+			res.LeakyWindowsWithout)
+	}
+	// The first window is ordinary speculation (no prior flush) and may
+	// leak; the defense must stop every REPLAY window.
+	if res.LeakyWindowsWith > 1 {
+		t.Errorf("fence-after-flush left %d leaky windows, want <= 1",
+			res.LeakyWindowsWith)
+	}
+	// The defense is not free: the benign branchy/faulty workload slows
+	// down.
+	if res.BenignCyclesWith <= res.BenignCyclesWithout {
+		t.Errorf("no overhead measured: %d vs %d cycles",
+			res.BenignCyclesWith, res.BenignCyclesWithout)
+	}
+	t.Logf("benign overhead: %.1f%% (%d -> %d cycles)",
+		res.OverheadPct(), res.BenignCyclesWithout, res.BenignCyclesWith)
+}
+
+// TestInvisibleSpeculationPartialCoverage: InvisiSpec-style defenses stop
+// the cache channel but not port contention — the paper's §8 criticism
+// ("these protections do not address side channels on the other shared
+// processor resources, such as port contention").
+func TestInvisibleSpeculationPartialCoverage(t *testing.T) {
+	res, err := RunInvisibleSpeculation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheLeakWithout {
+		t.Fatal("baseline cache attack leaked nothing; experiment broken")
+	}
+	if res.CacheLeakWith {
+		t.Error("invisible speculation did not stop the cache channel")
+	}
+	if !res.PortLeakWith {
+		t.Error("port channel should SURVIVE invisible speculation")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"microscope/analysis/sidechan"
+	"microscope/attack/microscope"
+	"microscope/attack/monitor"
+	"microscope/attack/victim"
+	"microscope/sim/cpu"
+)
+
+// Fig10Config parameterizes the port-contention experiment of §6.1.
+type Fig10Config struct {
+	// Samples is the number of monitor measurements (paper: 10,000).
+	Samples int
+	// Cont is the number of divisions per measurement (Fig. 7a's inner
+	// loop count).
+	Cont int
+	// HandlerLatency is the replayer's per-fault handler time; the paper
+	// notes the handler runs considerably longer than the victim code per
+	// replay, which is why most samples land below the threshold.
+	HandlerLatency uint64
+	// WalkLevels tunes the replay window length (§4.1.2).
+	WalkLevels int
+	// Quantile/Guard calibrate the contention threshold from the
+	// quiet (mul-side) distribution, mirroring the paper's "slightly
+	// less than 120 cycles" procedure.
+	Quantile float64
+	Guard    uint64
+	// JitterPeriod/JitterExtra inject the ambient platform noise that
+	// gives the paper's quiet distribution its 4-of-10,000 outliers.
+	JitterPeriod int
+	JitterExtra  int
+}
+
+// DefaultFig10Config matches the paper's measurement count.
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{
+		Samples:        10_000,
+		Cont:           2,
+		HandlerLatency: 5_000,
+		WalkLevels:     4,
+		Quantile:       0.99,
+		Guard:          8,
+		JitterPeriod:   9001,
+		JitterExtra:    150,
+	}
+}
+
+// Fig10Side holds one victim-side run (mul or div).
+type Fig10Side struct {
+	Samples []uint64
+	Replays int
+	Cycles  uint64
+}
+
+// Fig10Result is the full experiment outcome.
+type Fig10Result struct {
+	Config    Fig10Config
+	Mul       Fig10Side
+	Div       Fig10Side
+	Threshold uint64
+	MulOver   int
+	DivOver   int
+	// SeparationX is DivOver / max(MulOver,1) — the paper reports 16x.
+	SeparationX float64
+}
+
+// RunFig10 reproduces Figures 10a and 10b: the monitor takes Samples
+// latency measurements of its own divisions while the victim replays the
+// control-flow-secret victim's mul side (10a) or div side (10b), in a
+// single logical victim run per side.
+func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
+	return RunFig10WithCore(cfg, nil)
+}
+
+// RunFig10WithCore is RunFig10 with a core-configuration override applied
+// to both sides (used by the ablation benches).
+func RunFig10WithCore(cfg Fig10Config, tweak func(*cpu.Config)) (*Fig10Result, error) {
+	mul, err := runFig10Side(cfg, false, tweak)
+	if err != nil {
+		return nil, fmt.Errorf("mul side: %w", err)
+	}
+	div, err := runFig10Side(cfg, true, tweak)
+	if err != nil {
+		return nil, fmt.Errorf("div side: %w", err)
+	}
+	res := &Fig10Result{Config: cfg, Mul: mul, Div: div}
+	res.Threshold = sidechan.CalibrateThreshold(mul.Samples, cfg.Quantile, cfg.Guard)
+	res.MulOver = sidechan.Classify(mul.Samples, res.Threshold).Over
+	res.DivOver = sidechan.Classify(div.Samples, res.Threshold).Over
+	den := res.MulOver
+	if den == 0 {
+		den = 1
+	}
+	res.SeparationX = float64(res.DivOver) / float64(den)
+	return res, nil
+}
+
+// SecretDetected reports the attack's verdict: the victim executed the
+// div side iff the over-threshold count is well above the quiet side's.
+func (r *Fig10Result) SecretDetected() bool { return r.SeparationX >= 4 }
+
+func runFig10Side(cfg Fig10Config, secret bool, tweak func(*cpu.Config)) (Fig10Side, error) {
+	coreCfg := cpu.DefaultConfig()
+	coreCfg.JitterPeriod = cfg.JitterPeriod
+	coreCfg.JitterExtra = cfg.JitterExtra
+	if tweak != nil {
+		tweak(&coreCfg)
+	}
+	rig, err := NewRig(coreCfg)
+	if err != nil {
+		return Fig10Side{}, err
+	}
+	vic := victim.ControlFlowSecret(secret)
+	if err := rig.InstallVictim(vic); err != nil {
+		return Fig10Side{}, err
+	}
+	mon := monitor.PortContention(cfg.Samples, cfg.Cont)
+	if err := rig.AddMonitor(mon); err != nil {
+		return Fig10Side{}, err
+	}
+
+	// The replayer keeps the victim replaying for the monitor's entire
+	// measurement run, then releases it: one logical victim run.
+	rec := &microscope.Recipe{
+		Name:           "fig10",
+		Victim:         rig.Victim,
+		Handle:         vic.Sym("handle"),
+		WalkLevels:     cfg.WalkLevels,
+		HandlerLatency: cfg.HandlerLatency,
+	}
+	rec.OnReplay = func(ev microscope.Event) microscope.Decision {
+		if rig.Core.Context(1).Halted() {
+			return microscope.Release
+		}
+		return microscope.Replay
+	}
+	if err := rig.Module.Install(rec); err != nil {
+		return Fig10Side{}, err
+	}
+
+	vic.Start(rig.Kernel, 0)
+	mon.Start(rig.Kernel, 1)
+	start := rig.Core.Cycle()
+	// Budget: a sample takes tens of cycles; replays are thousands.
+	budget := uint64(cfg.Samples)*2_000 + 10_000_000
+	if err := rig.Run(budget); err != nil {
+		return Fig10Side{}, err
+	}
+	samples, err := monitor.ReadSamples(rig.Monitor, cfg.Samples)
+	if err != nil {
+		return Fig10Side{}, err
+	}
+	return Fig10Side{
+		Samples: samples,
+		Replays: rec.Replays(),
+		Cycles:  rig.Core.Cycle() - start,
+	}, nil
+}

@@ -1,0 +1,78 @@
+// Package experiments contains the runnable reproductions of the paper's
+// evaluation: the Fig. 10 port-contention attack, the Fig. 11 AES cache
+// attack, the full §6.2 single-run AES trace extraction, the Fig. 3
+// timeline, and the ablation studies listed in DESIGN.md. The cmd tools
+// and the root bench harness are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"microscope/attack/microscope"
+	"microscope/attack/victim"
+	"microscope/sim/cpu"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+// Rig is a fully assembled attack platform: physical memory, one SMT
+// core, a kernel with the MicroScope module loaded, and a victim process
+// scheduled on context 0.
+type Rig struct {
+	Phys   *mem.PhysMem
+	Core   *cpu.Core
+	Kernel *kernel.Kernel
+	Module *microscope.Module
+	Victim *kernel.Process
+	// Monitor is non-nil when a monitor process is scheduled on
+	// context 1.
+	Monitor *kernel.Process
+}
+
+// NewRig assembles a platform with the given core configuration.
+func NewRig(cfg cpu.Config) (*Rig, error) {
+	phys := mem.NewPhysMem(64 << 20)
+	core := cpu.NewCore(cfg, phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	m := microscope.NewModule(k)
+	vp, err := k.NewProcess("victim")
+	if err != nil {
+		return nil, err
+	}
+	k.Schedule(0, vp)
+	return &Rig{Phys: phys, Core: core, Kernel: k, Module: m, Victim: vp}, nil
+}
+
+// InstallVictim installs a victim layout into the victim process.
+func (r *Rig) InstallVictim(l *victim.Layout) error {
+	return l.Install(r.Kernel, r.Victim)
+}
+
+// AddMonitor creates the monitor process on SMT context 1 and installs
+// its layout.
+func (r *Rig) AddMonitor(l *victim.Layout) error {
+	if r.Core.Contexts() < 2 {
+		return fmt.Errorf("experiments: core has no second SMT context")
+	}
+	mp, err := r.Kernel.NewProcess("monitor")
+	if err != nil {
+		return err
+	}
+	r.Kernel.Schedule(1, mp)
+	if err := l.Install(r.Kernel, mp); err != nil {
+		return err
+	}
+	r.Monitor = mp
+	return nil
+}
+
+// Run steps the core until every loaded context halts or maxCycles pass,
+// returning an error on timeout.
+func (r *Rig) Run(maxCycles uint64) error {
+	r.Core.Run(maxCycles)
+	if !r.Core.Halted() {
+		return fmt.Errorf("experiments: run exceeded %d cycles (victim pc=%d)",
+			maxCycles, r.Core.Context(0).PC())
+	}
+	return nil
+}

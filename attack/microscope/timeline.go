@@ -1,0 +1,78 @@
+package microscope
+
+import (
+	"fmt"
+	"strings"
+
+	"microscope/sim/mem"
+)
+
+// TimelineKind classifies module-level events for the Fig. 3 timeline.
+type TimelineKind int
+
+// Timeline event kinds.
+const (
+	EvSetup TimelineKind = iota
+	EvHandleFault
+	EvReplay
+	EvRelease
+	EvPivotArm
+	EvPivotFault
+	EvHandleArm
+)
+
+// String returns the event name.
+func (k TimelineKind) String() string {
+	switch k {
+	case EvSetup:
+		return "setup"
+	case EvHandleFault:
+		return "handle-fault"
+	case EvReplay:
+		return "replay"
+	case EvRelease:
+		return "release"
+	case EvPivotArm:
+		return "pivot-arm"
+	case EvPivotFault:
+		return "pivot-fault"
+	case EvHandleArm:
+		return "handle-arm"
+	}
+	return fmt.Sprintf("TimelineKind(%d)", int(k))
+}
+
+// TimelineEvent is one module action with its cycle, reproducing the
+// Replayer row of the paper's Figure 3 timeline.
+type TimelineEvent struct {
+	Cycle  uint64
+	Kind   TimelineKind
+	Recipe string
+	VA     mem.Addr
+}
+
+func (m *Module) record(kind TimelineKind, r *Recipe, va mem.Addr) {
+	m.timeline = append(m.timeline, TimelineEvent{
+		Cycle:  m.core.Cycle(),
+		Kind:   kind,
+		Recipe: r.Name,
+		VA:     va,
+	})
+}
+
+// Timeline returns the module's event log.
+func (m *Module) Timeline() []TimelineEvent {
+	return append([]TimelineEvent(nil), m.timeline...)
+}
+
+// ClearTimeline resets the log.
+func (m *Module) ClearTimeline() { m.timeline = m.timeline[:0] }
+
+// FormatTimeline renders the log as the Fig. 3-style interleaving.
+func FormatTimeline(evs []TimelineEvent) string {
+	var sb strings.Builder
+	for _, ev := range evs {
+		fmt.Fprintf(&sb, "%10d  %-12s %-12s va=%#x\n", ev.Cycle, ev.Kind, ev.Recipe, ev.VA)
+	}
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+// Package monitor implements the Monitor actor of the attack (§4.1.3):
+// a process that runs on the victim core's sibling SMT context, creates
+// contention on shared functional units, and measures the resulting
+// latencies — the Fig. 7 port-contention monitor used by the paper's main
+// result (Fig. 10).
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"microscope/attack/victim"
+	"microscope/sim/isa"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+// Monitor virtual addresses.
+const (
+	bufferVA mem.Addr = 0x0070_0000 // sample buffer
+	signalVA mem.Addr = 0x007F_0000 // shared-memory start/stop word
+)
+
+// BufferVA returns the monitor's sample-buffer base address.
+func BufferVA() mem.Addr { return bufferVA }
+
+// SignalVA returns the monitor's signal-word address.
+func SignalVA() mem.Addr { return signalVA }
+
+// PortContention builds the Fig. 7a monitor: `samples` iterations, each
+// timing `cont` floating-point divisions with RDTSC and storing the
+// latency into a buffer. The divisions contend with the victim's divider
+// use on the sibling SMT context.
+//
+// Symbols: buffer, signal.
+func PortContention(samples, cont int) *victim.Layout {
+	if samples <= 0 || cont <= 0 {
+		panic(fmt.Sprintf("monitor: bad parameters samples=%d cont=%d", samples, cont))
+	}
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(bufferVA)).
+		MovImm(isa.R2, int64(samples)).
+		MovImm(isa.R3, 0).
+		FLoadImm(isa.F0, int64(math.Float64bits(3.0))).
+		FLoadImm(isa.F1, int64(math.Float64bits(1.5))).
+		Label("loop").
+		Rdtsc(isa.R4)
+	for i := 0; i < cont; i++ {
+		// Independent divisions: the non-pipelined divider serializes
+		// them, and victim divisions inject extra delay.
+		b.FDiv(isa.F2, isa.F0, isa.F1)
+	}
+	// A dependent move keeps the closing RDTSC honest even at width >
+	// divider count (RDTSC itself only issues at the ROB head).
+	b.FMov(isa.F3, isa.F2).
+		Rdtsc(isa.R5).
+		Sub(isa.R6, isa.R5, isa.R4).
+		Store(isa.R6, isa.R1, 0).
+		AddImm(isa.R1, isa.R1, 8).
+		AddImm(isa.R3, isa.R3, 1).
+		Blt(isa.R3, isa.R2, "loop").
+		Halt()
+
+	bufPages := uint64(samples*8+mem.PageSize-1) / mem.PageSize * mem.PageSize
+	return &victim.Layout{
+		Name: "portmonitor",
+		Prog: b.MustBuild(),
+		Symbols: map[string]mem.Addr{
+			"buffer": bufferVA,
+			"signal": signalVA,
+		},
+		Regions: []victim.Region{
+			{Name: "buffer", VA: bufferVA, Size: bufPages,
+				Flags: mem.FlagUser | mem.FlagWritable},
+			{Name: "signal", VA: signalVA, Size: mem.PageSize,
+				Flags: mem.FlagUser | mem.FlagWritable},
+		},
+	}
+}
+
+// ReadSamples extracts the recorded latencies after the monitor ran.
+func ReadSamples(proc *kernel.Process, n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	for i := range out {
+		v, err := proc.AddressSpace().Read64Virt(bufferVA + mem.Addr(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Gated builds a monitor that first spins until the shared signal word
+// becomes non-zero (the module's start signal, §5.2.2 operation 4), then
+// takes samples as PortContention does.
+func Gated(samples, cont int) *victim.Layout {
+	base := PortContention(samples, cont)
+	b := isa.NewBuilder().
+		MovImm(isa.R7, int64(signalVA)).
+		Label("wait").
+		Load(isa.R8, isa.R7, 0).
+		Beq(isa.R8, isa.R0, "wait")
+	// Splice the sampling program after the gate.
+	offset := b.Here()
+	for _, in := range base.Prog.Instrs {
+		if in.Op.IsBranch() || in.Op == isa.OpTxBegin {
+			in.Target += offset
+		}
+		b.Emit(in)
+	}
+	gated := &victim.Layout{
+		Name:    "gatedmonitor",
+		Prog:    b.MustBuild(),
+		Symbols: base.Symbols,
+		Regions: base.Regions,
+	}
+	return gated
+}

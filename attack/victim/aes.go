@@ -1,0 +1,222 @@
+package victim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"microscope/crypto/taes"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// AES victim virtual addresses. Each Td table and the rk array occupy
+// distinct pages — the property §4.4 relies on for handle/pivot selection.
+const (
+	AESInVA  mem.Addr = 0x0050_0000 // ciphertext words
+	AESRKVA  mem.Addr = 0x0051_0000 // decryption key schedule (u32 words)
+	AESTd0VA mem.Addr = 0x0052_0000
+	AESTd1VA mem.Addr = 0x0053_0000
+	AESTd2VA mem.Addr = 0x0054_0000
+	AESTd3VA mem.Addr = 0x0055_0000
+	AESTd4VA mem.Addr = 0x0056_0000
+	AESOutVA mem.Addr = 0x0057_0000 // plaintext words
+	// AESStackVA is a stack page the victim touches between key setup
+	// and the first round — the natural "replay handle before the loop"
+	// the paper's §4.4 footnote uses to recover the first iteration's
+	// otherwise-missed accesses.
+	AESStackVA mem.Addr = 0x0058_0000
+)
+
+// AESVictim is the Fig. 8a victim: a full T-table AES decryption compiled
+// to the simulated ISA, with per-access instruction marks so attack
+// recipes can target individual rk loads (replay handles) and Td0 loads
+// (pivots).
+type AESVictim struct {
+	*Layout
+	Cipher *taes.Cipher
+	// RKLoads[r][c] is the instruction index of the rk load feeding round
+	// r (1-based), column c. Round Rounds() is the final round.
+	RKLoads map[[2]int]int
+	// TdLoads[{r,c,t}] is the instruction index of the Td_t load of round
+	// r, column c (t=4 marks the first Td4 load of the final-round column).
+	TdLoads map[[3]int]int
+}
+
+// Register plan for the generated code (see aesRound):
+//
+//	r1..r4  Td0..Td3 bases (final round: r1 = Td4 base)
+//	r5      rk base (epilogue: out base)
+//	r6..r9  s0..s3
+//	r10..r13 t0..t3
+//	r14     scratch (index/address/loaded word)
+//	r15     scratch
+const (
+	regTd0 = isa.R1
+	regRK  = isa.R5
+	regS0  = isa.R6
+	regT0  = isa.R10
+	regTmp = isa.R14
+	regTm2 = isa.R15
+)
+
+// NewAESVictim builds the victim for the given key and ciphertext block.
+func NewAESVictim(key, ciphertext []byte) (*AESVictim, error) {
+	if len(ciphertext) != taes.BlockSize {
+		return nil, fmt.Errorf("victim: ciphertext must be one block, got %d bytes", len(ciphertext))
+	}
+	c, err := taes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	nr := c.Rounds()
+
+	v := &AESVictim{
+		Cipher:  c,
+		RKLoads: make(map[[2]int]int),
+		TdLoads: make(map[[3]int]int),
+	}
+	b := isa.NewBuilder()
+
+	// Prologue: load table bases and the initial state
+	// s_i = BE32(ct[4i]) ^ rk[i].
+	b.MovImm(regTd0+0, int64(AESTd0VA)).
+		MovImm(regTd0+1, int64(AESTd1VA)).
+		MovImm(regTd0+2, int64(AESTd2VA)).
+		MovImm(regTd0+3, int64(AESTd3VA)).
+		MovImm(regRK, int64(AESRKVA)).
+		MovImm(regTmp, int64(AESInVA))
+	for i := 0; i < 4; i++ {
+		b.Load32(regS0+isa.Reg(i), regTmp, int64(4*i)).
+			Load32(regTm2, regRK, int64(4*i)).
+			Xor(regS0+isa.Reg(i), regS0+isa.Reg(i), regTm2)
+	}
+
+	// A stack spill between key setup and the cipher loop (as a real
+	// caller's frame traffic would produce): the attack's pre-loop
+	// replay handle.
+	b.MovImm(regTmp, int64(AESStackVA))
+	stackMark := b.Here()
+	b.Load(regTm2, regTmp, 0)
+
+	// Middle rounds. Fig. 8a source-byte pattern for column c:
+	//   Td0 index from s[(c+0)%4] >> 24
+	//   Td1 index from s[(c+3)%4] >> 16
+	//   Td2 index from s[(c+2)%4] >> 8
+	//   Td3 index from s[(c+1)%4] >> 0
+	for r := 1; r < nr; r++ {
+		for col := 0; col < 4; col++ {
+			v.RKLoads[[2]int{r, col}] = b.Here()
+			b.Load32(regT0+isa.Reg(col), regRK, int64(4*(4*r+col)))
+			for tbl := 0; tbl < 4; tbl++ {
+				src := regS0 + isa.Reg((col+4-tbl)%4)
+				shift := int64(24 - 8*tbl)
+				v.TdLoads[[3]int{r, col, tbl}] = b.Here() + 4
+				emitTableLookup(b, src, shift, regTd0+isa.Reg(tbl))
+				b.Xor(regT0+isa.Reg(col), regT0+isa.Reg(col), regTmp)
+			}
+		}
+		// s <- t
+		for i := 0; i < 4; i++ {
+			b.Mov(regS0+isa.Reg(i), regT0+isa.Reg(i))
+		}
+	}
+
+	// Final round: Td4 (inverse S-box) lookups, reassembled bytewise.
+	b.MovImm(regTd0, int64(AESTd4VA))
+	for col := 0; col < 4; col++ {
+		v.RKLoads[[2]int{nr, col}] = b.Here()
+		b.Load32(regT0+isa.Reg(col), regRK, int64(4*(4*nr+col)))
+		v.TdLoads[[3]int{nr, col, 4}] = b.Here() + 4
+		for byteIdx := 0; byteIdx < 4; byteIdx++ {
+			src := regS0 + isa.Reg((col+4-byteIdx)%4)
+			shift := int64(24 - 8*byteIdx)
+			emitTableLookup(b, src, shift, regTd0)
+			if s := int64(24 - 8*byteIdx); s > 0 {
+				b.ShlImm(regTmp, regTmp, s)
+			}
+			b.Xor(regT0+isa.Reg(col), regT0+isa.Reg(col), regTmp)
+		}
+	}
+
+	// Epilogue: store the plaintext words and halt.
+	b.MovImm(regRK, int64(AESOutVA))
+	for i := 0; i < 4; i++ {
+		b.Store32(regT0+isa.Reg(i), regRK, int64(4*i))
+	}
+	b.Halt()
+
+	// Data image.
+	ctWords := make([]uint32, 4)
+	for i := range ctWords {
+		ctWords[i] = binary.BigEndian.Uint32(ciphertext[4*i:])
+	}
+	table := func(i int) []uint32 {
+		t := taes.Td(i)
+		return t[:]
+	}
+	td4 := taes.Td4()
+
+	v.Layout = &Layout{
+		Name:  "aes",
+		Prog:  b.MustBuild(),
+		Marks: map[string]int{"stack": stackMark},
+		Symbols: map[string]mem.Addr{
+			"in": AESInVA, "rk": AESRKVA, "out": AESOutVA, "stack": AESStackVA,
+			"td0": AESTd0VA, "td1": AESTd1VA, "td2": AESTd2VA,
+			"td3": AESTd3VA, "td4": AESTd4VA,
+		},
+		Regions: []Region{
+			{Name: "in", VA: AESInVA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(ctWords)},
+			{Name: "rk", VA: AESRKVA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(c.DecKey())},
+			{Name: "td0", VA: AESTd0VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(0))},
+			{Name: "td1", VA: AESTd1VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(1))},
+			{Name: "td2", VA: AESTd2VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(2))},
+			{Name: "td3", VA: AESTd3VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(3))},
+			{Name: "td4", VA: AESTd4VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(td4[:])},
+			{Name: "out", VA: AESOutVA, Size: mem.PageSize, Flags: rw},
+			{Name: "stack", VA: AESStackVA, Size: mem.PageSize, Flags: rw},
+		},
+	}
+	return v, nil
+}
+
+// emitTableLookup emits the index-extraction and table-load sequence:
+//
+//	tmp = (src >> shift) & 0xff
+//	tmp = mem32[base + tmp*4]       <- the Td load (Here()+4 from start)
+func emitTableLookup(b *isa.Builder, src isa.Reg, shift int64, base isa.Reg) {
+	if shift > 0 {
+		b.ShrImm(regTmp, src, shift)
+	} else {
+		b.Mov(regTmp, src)
+	}
+	b.AndImm(regTmp, regTmp, 0xff).
+		ShlImm(regTmp, regTmp, 2).
+		Add(regTmp, regTmp, base).
+		Load32(regTmp, regTmp, 0)
+}
+
+// TdVA returns the virtual address of entry idx of table t (0..4).
+func (v *AESVictim) TdVA(table, idx int) mem.Addr {
+	bases := []mem.Addr{AESTd0VA, AESTd1VA, AESTd2VA, AESTd3VA, AESTd4VA}
+	return bases[table] + mem.Addr(idx)*4
+}
+
+// TdLineVA returns the virtual address of cache line `line` of table t.
+func (v *AESVictim) TdLineVA(table, line int) mem.Addr {
+	return v.TdVA(table, line*taes.LinesPerTable)
+}
+
+// Plaintext reads the decrypted block from the victim's output page after
+// the program has run.
+func (v *AESVictim) Plaintext(read func(mem.Addr) (uint64, error)) ([]byte, error) {
+	out := make([]byte, taes.BlockSize)
+	for i := 0; i < 4; i++ {
+		w, err := read(AESOutVA + mem.Addr(4*i))
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(out[4*i:], uint32(w))
+	}
+	return out, nil
+}

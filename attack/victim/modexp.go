@@ -1,0 +1,134 @@
+package victim
+
+import (
+	"fmt"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Square-and-multiply modular exponentiation — the classic RSA-style
+// side-channel target. Each secret exponent bit decides whether the
+// iteration performs the extra multiply; the multiply path touches a
+// per-iteration probe line, so a replay attack stepping iteration by
+// iteration recovers the whole exponent from one logical run.
+const (
+	ModExpHandleVA mem.Addr = 0x0048_0000 // per-iteration replay handle
+	ModExpProbeVA  mem.Addr = 0x0049_0000 // per-bit transmit lines
+	ModExpPivotVA  mem.Addr = 0x004A_0000 // pivot page
+	ModExpOutVA    mem.Addr = 0x004B_0000 // result
+)
+
+// ModExpVictim computes base^exp mod m with a secret exponent.
+type ModExpVictim struct {
+	*Layout
+	Base, Exp, Mod uint64
+	Bits           int
+}
+
+// ModExpResult computes the expected result in software.
+func (v *ModExpVictim) ModExpResult() uint64 {
+	result := uint64(1)
+	for i := v.Bits - 1; i >= 0; i-- {
+		result = result * result % v.Mod
+		if v.Exp>>uint(i)&1 == 1 {
+			result = result * v.Base % v.Mod
+		}
+	}
+	return result
+}
+
+// NewModExpVictim builds the victim program: one unrolled iteration per
+// exponent bit, MSB first. bits must be ≤ 32 (the probe page holds up to
+// 64 lines; operands stay below 2^20 so squares fit in uint64).
+//
+// Register plan: r1 handle base, r2 probe base, r3 pivot base, r5
+// exponent (loaded from the secret page at entry... kept as an immediate
+// here: the exponent is enclave data the attack never reads directly),
+// r6 result, r7 base, r8 modulus, r9-r14 scratch.
+func NewModExpVictim(base, exp, mod uint64, bits int) (*ModExpVictim, error) {
+	if bits <= 0 || bits > 32 {
+		return nil, fmt.Errorf("victim: modexp bits %d out of range", bits)
+	}
+	if mod == 0 || mod >= 1<<20 || base >= mod {
+		return nil, fmt.Errorf("victim: modexp operands out of range (mod=%d base=%d)", mod, base)
+	}
+	if bits < 64 && exp >= 1<<uint(bits) {
+		return nil, fmt.Errorf("victim: exponent %d exceeds %d bits", exp, bits)
+	}
+
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(ModExpHandleVA)).
+		MovImm(isa.R2, int64(ModExpProbeVA)).
+		MovImm(isa.R3, int64(ModExpPivotVA)).
+		MovImm(isa.R5, int64(exp)).
+		MovImm(isa.R6, 1). // result
+		MovImm(isa.R7, int64(base)).
+		MovImm(isa.R8, int64(mod))
+
+	v := &ModExpVictim{Base: base, Exp: exp, Mod: mod, Bits: bits}
+	marks := map[string]int{}
+
+	emitModReduce := func(val isa.Reg) { // val <- val mod r8 (via div/mul/sub)
+		b.Div(isa.R10, val, isa.R8).
+			Mul(isa.R10, isa.R10, isa.R8).
+			Sub(val, val, isa.R10)
+	}
+
+	for i := bits - 1; i >= 0; i-- {
+		it := bits - 1 - i // iteration number, 0-based
+		// Square: result = result^2 mod m.
+		b.Mul(isa.R9, isa.R6, isa.R6).
+			Mov(isa.R6, isa.R9)
+		emitModReduce(isa.R6)
+
+		// Per-iteration replay handle (same page every iteration).
+		marks[fmt.Sprintf("handle%d", it)] = b.Here()
+		b.Load(isa.R11, isa.R1, 0)
+
+		// Secret-dependent multiply.
+		skip := fmt.Sprintf("skip%d", it)
+		b.ShrImm(isa.R12, isa.R5, int64(i)).
+			AndImm(isa.R12, isa.R12, 1).
+			Beq(isa.R12, isa.R0, skip)
+		marks[fmt.Sprintf("transmit%d", it)] = b.Here()
+		b.Load(isa.R13, isa.R2, int64(it)*64) // per-bit probe line
+		b.Mul(isa.R9, isa.R6, isa.R7).
+			Mov(isa.R6, isa.R9)
+		emitModReduce(isa.R6)
+		b.Label(skip)
+
+		// Pivot access (different page than the handle).
+		marks[fmt.Sprintf("pivot%d", it)] = b.Here()
+		b.Load(isa.R14, isa.R3, 0)
+	}
+	b.MovImm(isa.R4, int64(ModExpOutVA)).
+		Store(isa.R6, isa.R4, 0).
+		Halt()
+
+	v.Layout = &Layout{
+		Name:  "modexp",
+		Prog:  b.MustBuild(),
+		Marks: marks,
+		Symbols: map[string]mem.Addr{
+			"handle": ModExpHandleVA,
+			"probe":  ModExpProbeVA,
+			"pivot":  ModExpPivotVA,
+			"out":    ModExpOutVA,
+		},
+		Regions: []Region{
+			{Name: "handle", VA: ModExpHandleVA, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{1})},
+			{Name: "probe", VA: ModExpProbeVA, Size: mem.PageSize, Flags: rw},
+			{Name: "pivot", VA: ModExpPivotVA, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{2})},
+			{Name: "out", VA: ModExpOutVA, Size: mem.PageSize, Flags: rw},
+		},
+	}
+	return v, nil
+}
+
+// ProbeLineVA returns the probe line address for iteration it.
+func (v *ModExpVictim) ProbeLineVA(it int) mem.Addr {
+	return ModExpProbeVA + mem.Addr(it)*64
+}

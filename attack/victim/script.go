@@ -1,0 +1,179 @@
+package victim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Victim scripts: a textual format for defining custom victims, used by
+// cmd/asmlab for attack exploration. A script is ISA assembly (see
+// sim/isa.Assemble) plus `;;` directives that declare the memory image:
+//
+//	;; region <name> <addr> <ro|rw> [pages]   data region (default 1 page)
+//	;; init <name>+<off> <value>              64-bit word initializer
+//	;; symbol <name> <region>[+<off>]         named address for recipes
+//	;; entry <label>                          start label (default: first instr)
+//
+// Directive lines are comments to the assembler, so the same text
+// assembles cleanly.
+
+// ParseScript builds a Layout from a victim script.
+func ParseScript(name, src string) (*Layout, error) {
+	l := &Layout{
+		Name:    name,
+		Symbols: map[string]mem.Addr{},
+		Marks:   map[string]int{},
+	}
+	regions := map[string]*Region{}
+	entryLabel := ""
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if !strings.HasPrefix(line, ";;") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, ";;"))
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("victim: script line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "region":
+			if len(fields) < 4 || len(fields) > 5 {
+				return nil, fail("region wants <name> <addr> <ro|rw> [pages]")
+			}
+			addr, err := parseAddr(fields[2])
+			if err != nil {
+				return nil, fail("bad address %q", fields[2])
+			}
+			if addr%mem.PageSize != 0 {
+				return nil, fail("region %s not page aligned", fields[1])
+			}
+			flags := uint64(mem.FlagUser)
+			switch fields[3] {
+			case "ro":
+			case "rw":
+				flags |= mem.FlagWritable
+			default:
+				return nil, fail("bad permissions %q", fields[3])
+			}
+			pages := uint64(1)
+			if len(fields) == 5 {
+				n, err := strconv.ParseUint(fields[4], 0, 32)
+				if err != nil || n == 0 {
+					return nil, fail("bad page count %q", fields[4])
+				}
+				pages = n
+			}
+			if _, dup := regions[fields[1]]; dup {
+				return nil, fail("duplicate region %q", fields[1])
+			}
+			r := &Region{
+				Name:  fields[1],
+				VA:    addr,
+				Size:  pages * mem.PageSize,
+				Flags: flags,
+			}
+			regions[fields[1]] = r
+			l.Symbols[fields[1]] = addr
+		case "init":
+			if len(fields) != 3 {
+				return nil, fail("init wants <name>+<off> <value>")
+			}
+			regName, off, err := splitRef(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			r, ok := regions[regName]
+			if !ok {
+				return nil, fail("init before region %q", regName)
+			}
+			if off+8 > r.Size {
+				return nil, fail("init offset %d outside region %q", off, regName)
+			}
+			val, err := parseAddr(fields[2])
+			if err != nil {
+				return nil, fail("bad init value %q", fields[2])
+			}
+			if uint64(len(r.Init)) < off+8 {
+				grown := make([]byte, off+8)
+				copy(grown, r.Init)
+				r.Init = grown
+			}
+			for i := 0; i < 8; i++ {
+				r.Init[off+uint64(i)] = byte(val >> (8 * i))
+			}
+		case "symbol":
+			if len(fields) != 3 {
+				return nil, fail("symbol wants <name> <region>[+<off>]")
+			}
+			regName, off, err := splitRef(fields[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			r, ok := regions[regName]
+			if !ok {
+				return nil, fail("symbol before region %q", regName)
+			}
+			l.Symbols[fields[1]] = r.VA + off
+		case "entry":
+			if len(fields) != 2 {
+				return nil, fail("entry wants <label>")
+			}
+			entryLabel = fields[1]
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("victim: script %s: %w", name, err)
+	}
+	if prog.Len() == 0 {
+		return nil, fmt.Errorf("victim: script %s has no instructions", name)
+	}
+	l.Prog = prog
+	if entryLabel != "" {
+		idx, ok := prog.LabelOf(entryLabel)
+		if !ok {
+			return nil, fmt.Errorf("victim: script %s: entry label %q undefined", name, entryLabel)
+		}
+		l.Entry = idx
+	}
+	for _, r := range regions {
+		l.Regions = append(l.Regions, *r)
+	}
+	// Deterministic region order (map iteration is random).
+	for i := 0; i < len(l.Regions); i++ {
+		for j := i + 1; j < len(l.Regions); j++ {
+			if l.Regions[j].VA < l.Regions[i].VA {
+				l.Regions[i], l.Regions[j] = l.Regions[j], l.Regions[i]
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseAddr(s string) (uint64, error) {
+	return strconv.ParseUint(s, 0, 64)
+}
+
+// splitRef parses "name" or "name+off".
+func splitRef(s string) (string, uint64, error) {
+	name, offStr, found := strings.Cut(s, "+")
+	if !found {
+		return name, 0, nil
+	}
+	off, err := strconv.ParseUint(offStr, 0, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return name, off, nil
+}

@@ -1,0 +1,125 @@
+package victim
+
+import (
+	"strings"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+const testScript = `
+; plain comment
+;; region data 0x400000 rw 2
+;; region ro   0x402000 ro
+;; init data+8 0xdeadbeef
+;; init data+4096 77
+;; symbol second data+4096
+;; entry start
+
+        nop
+start:  movi r1, 0x400000
+        ld   r2, 8(r1)
+        ld   r3, 4096(r1)
+        halt
+`
+
+func TestParseScript(t *testing.T) {
+	l, err := ParseScript("test", testScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Regions) != 2 {
+		t.Fatalf("regions = %d", len(l.Regions))
+	}
+	if l.Regions[0].Name != "data" || l.Regions[1].Name != "ro" {
+		t.Errorf("region order: %s, %s", l.Regions[0].Name, l.Regions[1].Name)
+	}
+	if l.Regions[0].Size != 2*mem.PageSize {
+		t.Errorf("data region size = %d", l.Regions[0].Size)
+	}
+	if l.Regions[1].Flags&mem.FlagWritable != 0 {
+		t.Error("ro region writable")
+	}
+	if l.Sym("second") != 0x400000+mem.PageSize {
+		t.Errorf("symbol second = %#x", l.Sym("second"))
+	}
+	if l.Entry != 1 {
+		t.Errorf("entry = %d, want 1 (label start)", l.Entry)
+	}
+	// Init bytes: little-endian 0xdeadbeef at offset 8.
+	if l.Regions[0].Init[8] != 0xef || l.Regions[0].Init[11] != 0xde {
+		t.Errorf("init bytes = % x", l.Regions[0].Init[8:12])
+	}
+}
+
+func TestParseScriptRunsEndToEnd(t *testing.T) {
+	l, err := ParseScript("test", testScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := mem.NewPhysMem(32 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	proc, err := k.NewProcess("scripted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(0, proc)
+	if err := l.Install(k, proc); err != nil {
+		t.Fatal(err)
+	}
+	l.Start(k, 0)
+	core.Run(1_000_000)
+	ctx := core.Context(0)
+	if !ctx.Halted() {
+		t.Fatal("scripted victim did not halt")
+	}
+	if ctx.Reg(2) != 0xdeadbeef {
+		t.Errorf("r2 = %#x", ctx.Reg(2))
+	}
+	if ctx.Reg(3) != 77 {
+		t.Errorf("r3 = %d", ctx.Reg(3))
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		errSub string
+	}{
+		{"unknown directive", ";; frobnicate x\nnop\nhalt", "unknown directive"},
+		{"unaligned region", ";; region r 0x400010 rw\nnop", "not page aligned"},
+		{"bad perms", ";; region r 0x400000 wx\nnop", "bad permissions"},
+		{"dup region", ";; region r 0x400000 rw\n;; region r 0x401000 rw\nnop", "duplicate region"},
+		{"init missing region", ";; init r+0 1\nnop", "before region"},
+		{"init out of range", ";; region r 0x400000 rw\n;; init r+4090 1\nnop", "outside region"},
+		{"symbol missing region", ";; symbol s r+0\nnop", "before region"},
+		{"bad entry", ";; entry nowhere\nnop\nhalt", "undefined"},
+		{"empty program", ";; region r 0x400000 rw\n; nothing", "no instructions"},
+		{"bad assembly", "frob r1\nhalt", "unknown mnemonic"},
+		{"bad region pages", ";; region r 0x400000 rw zero\nnop", "bad page count"},
+	}
+	for _, c := range cases {
+		_, err := ParseScript("t", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.errSub)
+		}
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	name, off, err := splitRef("data+128")
+	if err != nil || name != "data" || off != 128 {
+		t.Errorf("splitRef = %q,%d,%v", name, off, err)
+	}
+	name, off, err = splitRef("data")
+	if err != nil || name != "data" || off != 0 {
+		t.Errorf("splitRef = %q,%d,%v", name, off, err)
+	}
+	if _, _, err := splitRef("data+xyz"); err == nil {
+		t.Error("bad offset accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package victim
+
+import (
+	"math"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Fixed virtual addresses for the simple victims. Each interesting object
+// sits on its own page, as the attacks require (replay handle and
+// sensitive data on different pages, §4.1.1).
+const (
+	handlePage  mem.Addr = 0x0040_0000 // replay-handle data (count, pub_addrA)
+	secretPage  mem.Addr = 0x0041_0000 // enclave-secret data
+	operandPage mem.Addr = 0x0042_0000 // FP operands for the branch sides
+	pivotPage   mem.Addr = 0x0043_0000 // pivot data (pub_addrB)
+	outPage     mem.Addr = 0x0044_0000 // results
+	arrayPage   mem.Addr = 0x0045_0000 // secrets[] array (Fig. 5)
+)
+
+const rw = mem.FlagUser | mem.FlagWritable
+
+// ControlFlowSecret builds the Fig. 6 victim: a replay handle followed by
+// a branch on a secret bit; the taken side executes two floating-point
+// divides, the fall-through side two integer multiplies. There is no
+// loop — the sequence runs once, which is exactly what makes the port
+// channel unusable without MicroScope.
+//
+// Symbols: handle, secret. Marks: handle, branch, div0, div1, mul0, mul1.
+func ControlFlowSecret(secret bool) *Layout {
+	sec := uint64(0)
+	if secret {
+		sec = 1
+	}
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(handlePage)).
+		MovImm(isa.R2, int64(secretPage)).
+		MovImm(isa.R3, int64(operandPage)).
+		Load(isa.R4, isa.R2, 0). // secret (enclave data, retires pre-attack)
+		LoadF(isa.F0, isa.R3, 0).
+		LoadF(isa.F1, isa.R3, 8)
+
+	marks := map[string]int{}
+	marks["handle"] = b.Here()
+	b.Load(isa.R5, isa.R1, 0) // REPLAY HANDLE (public address)
+	marks["branch"] = b.Here()
+	b.Bne(isa.R4, isa.R0, "divside")
+	marks["mul0"] = b.Here()
+	b.Mul(isa.R6, isa.R5, isa.R5)
+	marks["mul1"] = b.Here()
+	b.Mul(isa.R7, isa.R6, isa.R6).
+		Jmp("end").
+		Label("divside")
+	marks["div0"] = b.Here()
+	b.FDiv(isa.F2, isa.F0, isa.F1)
+	marks["div1"] = b.Here()
+	b.FDiv(isa.F3, isa.F0, isa.F1).
+		Label("end").
+		MovImm(isa.R8, int64(outPage)).
+		Store(isa.R4, isa.R8, 0). // result marker: victim made progress
+		Halt()
+
+	return &Layout{
+		Name:  "controlflow",
+		Prog:  b.MustBuild(),
+		Marks: marks,
+		Symbols: map[string]mem.Addr{
+			"handle": handlePage,
+			"secret": secretPage,
+			"out":    outPage,
+		},
+		Regions: []Region{
+			{Name: "handle", VA: handlePage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{0xabcd})},
+			{Name: "secret", VA: secretPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{sec})},
+			{Name: "operands", VA: operandPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{
+					math.Float64bits(3.0),
+					math.Float64bits(1.5),
+				})},
+			{Name: "out", VA: outPage, Size: mem.PageSize, Flags: rw},
+		},
+	}
+}
+
+// SingleSecret builds the Fig. 5 victim, getSecret(id, key):
+//
+//	count++;                    // count load = replay handle
+//	return secrets[id] / key;   // measurement access + transmit divide
+//
+// When subnormal is true, secrets[id] holds a subnormal float, so the
+// divide takes the microcode-assist latency the attack detects.
+//
+// Symbols: count (handle), secrets. Marks: handle, secretload, transmit.
+func SingleSecret(id int, subnormal bool) *Layout {
+	secrets := make([]uint64, 512)
+	for i := range secrets {
+		secrets[i] = math.Float64bits(float64(i) + 2.0)
+	}
+	if subnormal {
+		secrets[id] = 1 // smallest positive subnormal float64
+	}
+	key := math.Float64bits(1.5)
+
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(handlePage)). // &count
+		MovImm(isa.R2, int64(arrayPage)).  // secrets base
+		MovImm(isa.R3, int64(id)*8).       // offset of secrets[id]
+		FLoadImm(isa.F1, int64(key)).      // key
+		Add(isa.R2, isa.R2, isa.R3)        // &secrets[id]
+
+	marks := map[string]int{}
+	marks["handle"] = b.Here()
+	b.Load(isa.R4, isa.R1, 0). // count load: REPLAY HANDLE
+					AddImm(isa.R4, isa.R4, 1).
+					Store(isa.R4, isa.R1, 0) // count++ writeback
+	marks["secretload"] = b.Here()
+	b.LoadF(isa.F0, isa.R2, 0) // measurement access: secrets[id]
+	marks["transmit"] = b.Here()
+	b.FDiv(isa.F2, isa.F0, isa.F1). // transmit: latency leaks subnormality
+					MovImm(isa.R8, int64(outPage)).
+					StoreF(isa.F2, isa.R8, 0).
+					Halt()
+
+	return &Layout{
+		Name:  "singlesecret",
+		Prog:  b.MustBuild(),
+		Marks: marks,
+		Symbols: map[string]mem.Addr{
+			"count":   handlePage,
+			"secrets": arrayPage,
+			"secret":  arrayPage + mem.Addr(id)*8,
+			"out":     outPage,
+		},
+		Regions: []Region{
+			{Name: "count", VA: handlePage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{7})},
+			{Name: "secrets", VA: arrayPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes(secrets)},
+			{Name: "out", VA: outPage, Size: mem.PageSize, Flags: rw},
+		},
+	}
+}
+
+// LoopSecret builds the Fig. 4b victim: a loop whose body contains a
+// replay handle, a per-iteration transmit access to secret[i], and a
+// pivot access on a different page. The transmit access indexes a probe
+// array by the secret value (cache-line granularity), so each iteration's
+// secret is recoverable from the cache footprint.
+//
+// Symbols: handle, pivot, probe, secrets. Marks: handle, transmit, pivot.
+func LoopSecret(secrets []byte) *Layout {
+	iters := len(secrets)
+	// The secret array lives on its own (enclave) page; the probe array
+	// spans one page; each secret value maps to a distinct 64-byte line.
+	sec := make([]uint64, iters)
+	for i, s := range secrets {
+		sec[i] = uint64(s) % 64
+	}
+
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(handlePage)).
+		MovImm(isa.R2, int64(secretPage)).
+		MovImm(isa.R3, int64(operandPage)). // probe array page
+		MovImm(isa.R4, int64(pivotPage)).
+		MovImm(isa.R5, 0).            // i
+		MovImm(isa.R6, int64(iters)). // bound
+		Label("loop")
+	marks := map[string]int{}
+	marks["handle"] = b.Here()
+	b.Load(isa.R7, isa.R1, 0). // REPLAY HANDLE (same page every iteration)
+					ShlImm(isa.R8, isa.R5, 3).
+					Add(isa.R8, isa.R8, isa.R2).
+					Load(isa.R9, isa.R8, 0). // secret[i]
+					ShlImm(isa.R9, isa.R9, 6).
+					Add(isa.R9, isa.R9, isa.R3)
+	marks["transmit"] = b.Here()
+	b.Load(isa.R10, isa.R9, 0) // transmit: touches probe line secret[i]
+	marks["pivot"] = b.Here()
+	b.Load(isa.R11, isa.R4, 0). // PIVOT (different page than handle)
+					AddImm(isa.R5, isa.R5, 1).
+					Blt(isa.R5, isa.R6, "loop").
+					Halt()
+
+	return &Layout{
+		Name:  "loopsecret",
+		Prog:  b.MustBuild(),
+		Marks: marks,
+		Symbols: map[string]mem.Addr{
+			"handle":  handlePage,
+			"secrets": secretPage,
+			"probe":   operandPage,
+			"pivot":   pivotPage,
+		},
+		Regions: []Region{
+			{Name: "handle", VA: handlePage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{1})},
+			{Name: "secrets", VA: secretPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes(sec)},
+			{Name: "probe", VA: operandPage, Size: mem.PageSize, Flags: rw},
+			{Name: "pivot", VA: pivotPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{2})},
+		},
+	}
+}

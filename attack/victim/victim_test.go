@@ -1,0 +1,269 @@
+package victim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"microscope/crypto/taes"
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+type rig struct {
+	k    *kernel.Kernel
+	core *cpu.Core
+	proc *kernel.Process
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	phys := mem.NewPhysMem(32 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	proc, err := k.NewProcess("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(0, proc)
+	return &rig{k: k, core: core, proc: proc}
+}
+
+func (r *rig) runLayout(t *testing.T, l *Layout, maxCycles uint64) {
+	t.Helper()
+	if err := l.Install(r.k, r.proc); err != nil {
+		t.Fatal(err)
+	}
+	l.Start(r.k, 0)
+	r.core.Run(maxCycles)
+	if !r.core.Context(0).Halted() {
+		t.Fatalf("victim %s did not halt", l.Name)
+	}
+}
+
+func TestControlFlowSecretRuns(t *testing.T) {
+	for _, secret := range []bool{false, true} {
+		r := newRig(t)
+		l := ControlFlowSecret(secret)
+		if l.Mark("handle") >= l.Mark("branch") {
+			t.Error("handle mark not before branch")
+		}
+		r.runLayout(t, l, 1_000_000)
+		// The victim stores the secret value at out as a progress marker.
+		v, err := r.proc.AddressSpace().Read64Virt(l.Sym("out"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(0)
+		if secret {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("out = %d, want %d", v, want)
+		}
+		// Div side must have occupied the divider; mul side must not.
+		busy := r.core.Ports().DivBusyCycles
+		if secret && busy == 0 {
+			t.Error("secret=true: divider never used")
+		}
+		if !secret && busy != 0 {
+			t.Errorf("secret=false: divider used for %d cycles", busy)
+		}
+	}
+}
+
+func TestSingleSecretComputesQuotient(t *testing.T) {
+	r := newRig(t)
+	l := SingleSecret(37, false)
+	r.runLayout(t, l, 1_000_000)
+	// secrets[37] = 39.0, key = 1.5 -> 26.0
+	bits, err := r.proc.AddressSpace().Read64Virt(l.Sym("out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(bits); got != 26.0 {
+		t.Errorf("quotient = %v, want 26.0", got)
+	}
+	// count++ must have committed.
+	count, err := r.proc.AddressSpace().Read64Virt(l.Sym("count"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Errorf("count = %d, want 8", count)
+	}
+}
+
+// TestSingleSecretSubnormalSlower checks the transmit divide's latency
+// leaks the subnormality of secrets[id] — while whole-program runtime
+// hides it (both runs take identical total cycles, the [7]-style
+// observation being exactly what makes the channel need denoising).
+func TestSingleSecretSubnormalSlower(t *testing.T) {
+	fdivLat := func(subnormal bool) (lat, total uint64) {
+		r := newRig(t)
+		l := SingleSecret(5, subnormal)
+		if err := l.Install(r.k, r.proc); err != nil {
+			t.Fatal(err)
+		}
+		l.Start(r.k, 0)
+		var issue, complete uint64
+		r.core.SetTracer(cpu.TracerFunc(func(ev cpu.Event) {
+			if ev.Instr.Op == isa.OpFDiv {
+				switch ev.Kind {
+				case cpu.EvIssue:
+					issue = ev.Cycle
+				case cpu.EvComplete:
+					complete = ev.Cycle
+				}
+			}
+		}))
+		r.core.Run(1_000_000)
+		if !r.core.Context(0).Halted() {
+			t.Fatal("did not halt")
+		}
+		return complete - issue, r.core.Cycle()
+	}
+	normal, totalN := fdivLat(false)
+	sub, totalS := fdivLat(true)
+	if sub <= normal {
+		t.Errorf("subnormal fdiv latency %d <= normal %d", sub, normal)
+	}
+	if totalN != totalS {
+		t.Logf("note: whole-program timing differs (%d vs %d); channel is coarser than expected",
+			totalN, totalS)
+	}
+}
+
+func TestLoopSecretTouchesProbeLines(t *testing.T) {
+	r := newRig(t)
+	secrets := []byte{3, 17, 9, 60}
+	l := LoopSecret(secrets)
+	r.runLayout(t, l, 5_000_000)
+	// Every secret's probe line must be cached; untouched lines that
+	// never collided should not be L1-resident. (Check presence only for
+	// the touched set to avoid false negatives from set collisions.)
+	for _, s := range secrets {
+		line := uint64(s) % 64
+		va := l.Sym("probe") + mem.Addr(line)*64
+		pa, err := r.proc.AddressSpace().Translate(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.core.Hierarchy().L1D().Lookup(pa) {
+			t.Errorf("probe line %d not cached after run", line)
+		}
+	}
+}
+
+func TestAESVictimDecryptsCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		c, err := taes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := make([]byte, 16)
+		c.Encrypt(ct, pt)
+
+		r := newRig(t)
+		v, err := NewAESVictim(key, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.runLayout(t, v.Layout, 10_000_000)
+
+		got, err := v.Plaintext(func(va mem.Addr) (uint64, error) {
+			return r.proc.AddressSpace().Read64Virt(va)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("keyLen %d: simulated decryption = %x, want %x", keyLen, got, pt)
+		}
+	}
+}
+
+func TestAESVictimMarksPointAtLoads(t *testing.T) {
+	key := make([]byte, 16)
+	ct := make([]byte, 16)
+	v, err := NewAESVictim(key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := v.Cipher.Rounds()
+	if len(v.RKLoads) != nr*4 {
+		t.Errorf("RKLoads has %d entries, want %d", len(v.RKLoads), nr*4)
+	}
+	for rc, idx := range v.RKLoads {
+		in := v.Prog.At(idx)
+		if !in.Op.IsLoad() {
+			t.Errorf("RKLoads[%v] = instr %d (%s), not a load", rc, idx, in)
+		}
+	}
+	for key3, idx := range v.TdLoads {
+		in := v.Prog.At(idx)
+		if !in.Op.IsLoad() {
+			t.Errorf("TdLoads[%v] = instr %d (%s), not a load", key3, idx, in)
+		}
+	}
+	// Middle rounds have 4 tables × 4 columns; final round 1 mark/column.
+	want := (nr-1)*16 + 4
+	if len(v.TdLoads) != want {
+		t.Errorf("TdLoads has %d entries, want %d", len(v.TdLoads), want)
+	}
+}
+
+// TestAESVictimCacheFootprintMatchesTrace: after a run, the Td lines the
+// reference trace says were accessed must be cached; this ties the
+// simulated victim to the ground truth the attack is verified against.
+func TestAESVictimCacheFootprintMatchesTrace(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	pt := []byte("attack at dawn!!")
+	c, _ := taes.NewCipher(key)
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+
+	r := newRig(t)
+	v, err := NewAESVictim(key, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.runLayout(t, v.Layout, 10_000_000)
+
+	out := make([]byte, 16)
+	trace := c.DecryptTrace(out, ct)
+	lines := taes.AccessedLines(trace)
+	for tbl := 0; tbl < 4; tbl++ {
+		for line := 0; line < taes.LinesPerTable; line++ {
+			if lines[tbl]&(1<<uint(line)) == 0 {
+				continue
+			}
+			va := v.TdLineVA(tbl, line)
+			pa, err := r.proc.AddressSpace().Translate(va)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, lvl := r.core.Hierarchy().Probe(pa); lvl == 4 {
+				t.Errorf("Td%d line %d accessed per trace but not cached", tbl, line)
+			}
+		}
+	}
+}
+
+func TestLayoutSymAndMarkPanics(t *testing.T) {
+	l := ControlFlowSecret(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown symbol did not panic")
+		}
+	}()
+	l.Sym("nope")
+}

@@ -1,0 +1,79 @@
+// Command aesattack reproduces the paper's AES results: Figure 11 (the
+// latency of each Td1 cache line after three replays of one decryption
+// round) and the full §6.2 extraction of every T-table access of a single
+// AES decryption, in one logical victim run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microscope/analysis/sidechan"
+	"microscope/attack/experiments"
+	"microscope/crypto/taes"
+)
+
+func main() {
+	key := flag.String("key", "0123456789abcdef", "AES key (16/24/32 bytes)")
+	pt := flag.String("pt", "attack at dawn!!", "plaintext block (16 bytes)")
+	full := flag.Bool("full", true, "also run the full-trace extraction (§6.2)")
+	flag.Parse()
+
+	cfg := experiments.DefaultAESConfig()
+	cfg.Key = []byte(*key)
+	cfg.Plaintext = []byte(*pt)
+
+	fig11, err := experiments.RunFig11(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aesattack:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Figure 11 — latency of accesses to the Td1 table after each replay")
+	fmt.Println("(replay 0: unprimed; replays 1-2: cache primed before the replay)")
+	bands := sidechan.DefaultCacheBands()
+	fmt.Printf("\n%-6s %10s %10s %10s\n", "line", "replay 0", "replay 1", "replay 2")
+	for line := 0; line < taes.LinesPerTable; line++ {
+		fmt.Printf("%-6d", line)
+		for rep := 0; rep < 3; rep++ {
+			lat := fig11.Latencies[rep][line]
+			_, name := bands.Band(lat)
+			fmt.Printf(" %5d %-4s", lat, name)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nground-truth Td1 lines (round 1): %v\n", experiments.LinesOf(fig11.Truth))
+	fmt.Printf("extracted after replay 1:         %v\n", experiments.LinesOf(fig11.Extracted[0]))
+	fmt.Printf("extracted after replay 2:         %v\n", experiments.LinesOf(fig11.Extracted[1]))
+	fmt.Printf("replay 0 latency bands: %d; primed replays consistent and correct: %t\n",
+		fig11.Replay0Bands, fig11.Consistent())
+
+	if !*full {
+		return
+	}
+	fmt.Println("\n§6.2 — full single-run extraction of all T-table accesses")
+	ext, err := experiments.RunAESExtraction(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aesattack:", err)
+		os.Exit(1)
+	}
+	for r := 1; r <= ext.Rounds; r++ {
+		if r == ext.Rounds {
+			fmt.Printf("round %2d: Td4 lines %v\n", r, experiments.LinesOf(ext.Extracted[r][4]))
+			continue
+		}
+		fmt.Printf("round %2d:", r)
+		for t := 0; t < 4; t++ {
+			fmt.Printf(" Td%d%v", t, experiments.LinesOf(ext.Extracted[r][t]))
+		}
+		fmt.Println()
+	}
+	ok, diff := ext.Match()
+	fmt.Printf("\nfaults used: %d; plaintext intact: %t; extraction matches ground truth: %t\n",
+		ext.Faults, ext.PlaintextOK, ok)
+	if !ok {
+		fmt.Println("first mismatch:", diff)
+		os.Exit(1)
+	}
+}

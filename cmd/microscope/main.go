@@ -1,0 +1,344 @@
+// Command microscope is the framework's exploration CLI. Subcommands map
+// to the paper's non-headline tables and figures:
+//
+//	table1     — print the Table 1 side-channel taxonomy
+//	table2     — demonstrate each Table 2 user-API operation
+//	timeline   — print the Fig. 3 Replayer/Victim timeline of a real attack
+//	execpath   — narrate the Fig. 9 kernel execution path of one fault
+//	generalize — run the Fig. 12 replay-handle generalizations (§7)
+//	defenses   — evaluate the §8 countermeasures
+//	denoise    — print the replay-count/confidence denoising curve
+//	baselines  — run the §2.4 prior attacks for comparison
+//	walk       — print a Fig. 2 four-level page-table walk
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"microscope/analysis/sidechan"
+	"microscope/attack/baseline"
+	"microscope/attack/defense"
+	"microscope/attack/experiments"
+	"microscope/attack/microscope"
+	"microscope/attack/replay"
+	"microscope/attack/victim"
+	"microscope/sim/cpu"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		fmt.Print(sidechan.FormatTable1(sidechan.Table1()))
+	case "table2":
+		err = runTable2()
+	case "timeline":
+		err = runTimeline()
+	case "execpath":
+		err = runExecPath()
+	case "generalize":
+		err = runGeneralize()
+	case "defenses":
+		err = runDefenses()
+	case "denoise":
+		err = runDenoise()
+	case "baselines":
+		err = runBaselines()
+	case "walk":
+		err = runWalk()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microscope:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: microscope <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+}
+
+// runTable2 exercises the five Table 2 operations against a live victim.
+func runTable2() error {
+	rig, err := experiments.NewRig(cpu.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	l := victim.LoopSecret([]byte{5, 9})
+	if err := rig.InstallVictim(l); err != nil {
+		return err
+	}
+	u := rig.Module.User(rig.Victim)
+	fmt.Println("Table 2 — MicroScope user API")
+	fmt.Printf("provide_replay_handle(%#x)\n", l.Sym("handle"))
+	u.ProvideReplayHandle(l.Sym("handle"))
+	fmt.Printf("provide_pivot(%#x)\n", l.Sym("pivot"))
+	u.ProvidePivot(l.Sym("pivot"))
+	fmt.Printf("provide_monitor_addr(%#x)\n", l.Sym("probe"))
+	u.ProvideMonitorAddr(l.Sym("probe"))
+	fmt.Printf("initiate_page_walk(%#x, 2)\n", l.Sym("probe"))
+	if err := u.InitiatePageWalk(l.Sym("probe"), 2); err != nil {
+		return err
+	}
+	fmt.Printf("initiate_page_fault(%#x)\n", l.Sym("handle"))
+	u.Recipe().MaxReplays = 5
+	if err := u.InitiatePageFault(l.Sym("handle")); err != nil {
+		return err
+	}
+	l.Start(rig.Kernel, 0)
+	if err := rig.Run(20_000_000); err != nil {
+		return err
+	}
+	fmt.Printf("-> victim replayed %d times, then released; victim finished: %t\n",
+		u.Recipe().Replays(), rig.Core.Context(0).Halted())
+	return nil
+}
+
+// runTimeline reproduces the Fig. 3 interleaving on a live attack.
+func runTimeline() error {
+	rig, err := experiments.NewRig(cpu.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	l := victim.ControlFlowSecret(true)
+	if err := rig.InstallVictim(l); err != nil {
+		return err
+	}
+	rec := &microscope.Recipe{
+		Name:       "timeline",
+		Victim:     rig.Victim,
+		Handle:     l.Sym("handle"),
+		MaxReplays: 4,
+	}
+	if err := rig.Module.Install(rec); err != nil {
+		return err
+	}
+	l.Start(rig.Kernel, 0)
+	if err := rig.Run(10_000_000); err != nil {
+		return err
+	}
+	fmt.Println("Figure 3 — replayer/victim timeline (cycles are simulated)")
+	fmt.Print(microscope.FormatTimeline(rig.Module.Timeline()))
+	return nil
+}
+
+// runExecPath narrates the Fig. 9 execution path of a single intercepted
+// fault.
+func runExecPath() error {
+	rig, err := experiments.NewRig(cpu.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	l := victim.ControlFlowSecret(false)
+	if err := rig.InstallVictim(l); err != nil {
+		return err
+	}
+	steps := []string{}
+	rec := &microscope.Recipe{
+		Name:       "execpath",
+		Victim:     rig.Victim,
+		Handle:     l.Sym("handle"),
+		MaxReplays: 1,
+	}
+	rec.OnReplay = func(ev microscope.Event) microscope.Decision {
+		steps = append(steps,
+			"4. trampoline redirects the fault to the MicroScope module",
+			fmt.Sprintf("5. module inspects PTE under attack (replay %d); may flip present bits", ev.Replays),
+		)
+		return microscope.Release
+	}
+	if err := rig.Module.Install(rec); err != nil {
+		return err
+	}
+	l.Start(rig.Kernel, 0)
+	if err := rig.Run(10_000_000); err != nil {
+		return err
+	}
+	fmt.Println("Figure 9 — execution path of a MicroScope attack")
+	fmt.Println("1. application issues the replay-handle access (virtual address)")
+	fmt.Println("2. MMU raises a page fault; control enters the OS")
+	fmt.Println("3. page-fault handler classifies the fault (present bit clear)")
+	for _, s := range steps {
+		fmt.Println(s)
+	}
+	fmt.Println("6. page-fault handler completes")
+	fmt.Printf("7. control returns to the application (victim finished: %t)\n",
+		rig.Core.Context(0).Halted())
+	return nil
+}
+
+// runGeneralize runs the three Fig. 12 replay-handle mechanisms.
+func runGeneralize() error {
+	fmt.Println("Figure 12 — generalized microarchitectural replay attacks")
+	pf, err := replay.RunPageFaultHandle(10)
+	if err != nil {
+		return err
+	}
+	tsx, err := replay.RunTSXAbortHandle(10, false)
+	if err != nil {
+		return err
+	}
+	tsxFenced, err := replay.RunTSXAbortHandle(10, true)
+	if err != nil {
+		return err
+	}
+	bp, err := replay.RunMispredictHandle()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %8s %8s %10s\n", "handle", "replays", "leaked", "unbounded")
+	for _, r := range []*replay.Result{pf, tsx, bp} {
+		fmt.Printf("%-18s %8d %8t %10t\n", r.Kind, r.Replays, r.Leaked, r.Unbound)
+	}
+	fmt.Printf("%-18s %8d %8t %10s  (fence does NOT stop TSX replays)\n",
+		"tsx-abort+fence", tsxFenced.Replays, tsxFenced.Leaked, "true")
+
+	fmt.Println("\n§7.2 — RDRAND bias (integrity attack)")
+	for _, fenced := range []bool{false, true} {
+		r, err := replay.RunRDRANDBias(1, 100, fenced)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fenced=%-5t observed=%-5t biased=%-5t windows=%d finalBit=%d\n",
+			fenced, r.Observed, r.Achieved, r.Windows, r.FinalLowBit)
+	}
+	return nil
+}
+
+// runDefenses evaluates the §8 countermeasures.
+func runDefenses() error {
+	fmt.Println("§8 — countermeasure evaluation")
+	ts, err := defense.RunTSGX(10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("T-SGX (N=%d):      OS-visible faults=%d, leaks observed=%d, enclave terminated=%t\n",
+		ts.Threshold, ts.OSVisibleFaults, ts.LeakObservations, ts.VictimTerminated)
+
+	dv, err := defense.RunDejaVu(10_000, 5, 5_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Deja Vu (naive):   elapsed=%d vs threshold=%d -> detected=%t (leaked=%t)\n",
+		dv.Elapsed, dv.Threshold, dv.Detected, dv.Leaked)
+	dv2, err := defense.RunDejaVu(10_000, 2, 1_200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Deja Vu (masked):  elapsed=%d vs threshold=%d -> detected=%t (leaked=%t)\n",
+		dv2.Elapsed, dv2.Threshold, dv2.Detected, dv2.Leaked)
+
+	po, err := defense.RunPFOblivious()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PF-obliviousness:  page traces equal=%t, handle candidates=%d, secret recovered=%t\n",
+		po.PageTraceEqual, po.HandleCandidates, po.SecretRecovered)
+	return nil
+}
+
+// runBaselines runs the §2.4 prior attacks for comparison.
+func runBaselines() error {
+	fmt.Println("§2.4 baselines — the attacks MicroScope improves on")
+	cc, err := baseline.RunControlledChannel(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("controlled channel [60]: page secret recovered=%t, line secret visible=%t (page granularity)\n",
+		cc.PageSecretCorrect, cc.LineSecretVisible)
+	spm, err := baseline.RunSPM(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sneaky page monitoring [58]: page secret recovered=%t, victim saw faults=%t\n",
+		spm.PageSecretCorrect, spm.VictimObservedFault)
+	pp, err := baseline.RunPrimeProbe([]byte("0123456789abcdef"), []byte("attack at dawn!!"), 0.2, 150, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multi-run prime+probe [9,18]: single noisy trace correct=%t, traces to stability=%d, per-round resolution=%t\n",
+		pp.SingleRunObserved == pp.UnionTruth, pp.TracesTo99, pp.PerRoundResolved)
+	fmt.Println("(compare: MicroScope recovers exact per-round sets in ONE logical run — cmd/aesattack)")
+	return nil
+}
+
+// runWalk prints the Fig. 2 page-table walk of an address, with the cache
+// level serving each level and the resulting walk latency under the
+// §4.1.2 tuning extremes.
+func runWalk() error {
+	rig, err := experiments.NewRig(cpu.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	l := victim.ControlFlowSecret(false)
+	if err := rig.InstallVictim(l); err != nil {
+		return err
+	}
+	va := l.Sym("handle")
+	steps, err := rig.Module.SoftWalk(rig.Victim, va)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 2 — page-table walk for va=%#x (CR3 ppn=%#x)\n\n",
+		va, rig.Victim.AddressSpace().Root())
+	for _, s := range steps {
+		fmt.Printf("%-4s entry at pa=%#x  ->  %s\n", s.Level, s.EntryAddr, s.Entry)
+	}
+	fmt.Println("\nwalk-duration tuning (§4.1.2): victim-observed fault delay by levels flushed")
+	for levels := 1; levels <= 4; levels++ {
+		r2, err := experiments.NewRig(cpu.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		l2 := victim.ControlFlowSecret(false)
+		if err := r2.InstallVictim(l2); err != nil {
+			return err
+		}
+		var faultCycle uint64
+		rec := &microscope.Recipe{
+			Name: "walkdemo", Victim: r2.Victim, Handle: l2.Sym("handle"),
+			WalkLevels: levels, MaxReplays: 1,
+		}
+		rec.OnReplay = func(ev microscope.Event) microscope.Decision {
+			faultCycle = ev.Cycle
+			return microscope.Release
+		}
+		if err := r2.Module.Install(rec); err != nil {
+			return err
+		}
+		start := r2.Core.Cycle()
+		l2.Start(r2.Kernel, 0)
+		if err := r2.Run(10_000_000); err != nil {
+			return err
+		}
+		fmt.Printf("  %d level(s) from memory: fault delivered after %d cycles\n",
+			levels, faultCycle-start)
+	}
+	return nil
+}
+
+// runDenoise prints the replays-to-confidence curve and the channel's
+// information-theoretic quality.
+func runDenoise() error {
+	fmt.Println("denoising — majority-vote confidence vs replay count")
+	for _, secret := range []bool{false, true} {
+		res, err := experiments.RunDenoise(secret, 15)
+		if err != nil {
+			return err
+		}
+		rep := sidechan.AnalyzeReplayChannel(res.Observations, res.Truth)
+		fmt.Printf("secret=%-5t verdict=%-5t replays-to-90%%=%d observations=%v\n",
+			secret, res.Verdict, res.ReplaysTo90, res.Observations)
+		fmt.Printf("            error-rate=%.2f bits/replay=%.2f replays-for-1e-3=%d\n",
+			rep.ErrorRate, rep.BitsPerReplay, rep.ReplaysFor1e3)
+	}
+	return nil
+}

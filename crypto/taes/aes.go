@@ -1,0 +1,194 @@
+package taes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+var rcon = [10]uint32{
+	0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+	0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+// Cipher holds expanded encryption and decryption key schedules.
+type Cipher struct {
+	nr  int      // rounds: 10, 12 or 14
+	enc []uint32 // 4*(nr+1) words
+	dec []uint32 // 4*(nr+1) words, equivalent-inverse-cipher order
+}
+
+// NewCipher expands a 16-, 24- or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	nk := len(key) / 4
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("taes: invalid key size %d", len(key))
+	}
+	nr := nk + 6
+	w := make([]uint32, 4*(nr+1))
+	for i := 0; i < nk; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := nk; i < len(w); i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ rcon[i/nk-1]
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+
+	// Equivalent inverse cipher key schedule: reverse round order, apply
+	// InvMixColumns to all middle round keys.
+	d := make([]uint32, len(w))
+	for i := 0; i <= nr; i++ {
+		copy(d[4*i:4*i+4], w[4*(nr-i):4*(nr-i)+4])
+	}
+	for i := 1; i < nr; i++ {
+		for j := 0; j < 4; j++ {
+			d[4*i+j] = invMixColumnsWord(d[4*i+j])
+		}
+	}
+	return &Cipher{nr: nr, enc: w, dec: d}, nil
+}
+
+// Rounds returns the round count (10/12/14).
+func (c *Cipher) Rounds() int { return c.nr }
+
+// EncKey returns the expanded encryption key schedule.
+func (c *Cipher) EncKey() []uint32 { return append([]uint32(nil), c.enc...) }
+
+// DecKey returns the decryption key schedule in the order the T-table
+// decryption consumes it (rk[0..4*(nr+1))) — the rk array of the paper's
+// Fig. 8a, which the attack uses as its replay handle page.
+func (c *Cipher) DecKey() []uint32 { return append([]uint32(nil), c.dec...) }
+
+// Encrypt encrypts one 16-byte block with the T-table routine.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.enc[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.enc[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.enc[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ c.enc[3]
+
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := te[0][s0>>24] ^ te[1][s1>>16&0xff] ^ te[2][s2>>8&0xff] ^ te[3][s3&0xff] ^ c.enc[k]
+		t1 := te[0][s1>>24] ^ te[1][s2>>16&0xff] ^ te[2][s3>>8&0xff] ^ te[3][s0&0xff] ^ c.enc[k+1]
+		t2 := te[0][s2>>24] ^ te[1][s3>>16&0xff] ^ te[2][s0>>8&0xff] ^ te[3][s1&0xff] ^ c.enc[k+2]
+		t3 := te[0][s3>>24] ^ te[1][s0>>16&0xff] ^ te[2][s1>>8&0xff] ^ te[3][s2&0xff] ^ c.enc[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	out0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 |
+		uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	out1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 |
+		uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	out2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 |
+		uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	out3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 |
+		uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	binary.BigEndian.PutUint32(dst[0:], out0^c.enc[k])
+	binary.BigEndian.PutUint32(dst[4:], out1^c.enc[k+1])
+	binary.BigEndian.PutUint32(dst[8:], out2^c.enc[k+2])
+	binary.BigEndian.PutUint32(dst[12:], out3^c.enc[k+3])
+}
+
+// Decrypt decrypts one 16-byte block with the T-table routine of the
+// paper's Fig. 8a.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	c.decryptTraced(dst, src, nil)
+}
+
+// TableAccess records one T-table lookup of a decryption: which table,
+// which index, in which round/column — the attack's ground truth.
+type TableAccess struct {
+	Round  int // 1-based middle rounds; Rounds() = final round (Td4)
+	Column int // 0..3 (t0..t3 of Fig. 8a)
+	Table  int // 0..3 for Td0..Td3; 4 for Td4
+	Index  int // 0..255
+}
+
+// Line returns the cache line within the table that the access touches,
+// assuming 64-byte lines and 4-byte entries (16 lines of 16 entries per
+// table, as in the paper's Fig. 11).
+func (a TableAccess) Line() int { return a.Index / 16 }
+
+// DecryptTrace decrypts one block and returns every table access in
+// program order.
+func (c *Cipher) DecryptTrace(dst, src []byte) []TableAccess {
+	var tr []TableAccess
+	c.decryptTraced(dst, src, &tr)
+	return tr
+}
+
+func (c *Cipher) decryptTraced(dst, src []byte, tr *[]TableAccess) {
+	rec := func(round, col, table, idx int) uint32 {
+		if tr != nil {
+			*tr = append(*tr, TableAccess{Round: round, Column: col, Table: table, Index: idx})
+		}
+		if table == 4 {
+			return uint32(sboxI[idx])
+		}
+		return td[table][idx]
+	}
+
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.dec[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.dec[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.dec[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ c.dec[3]
+
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := rec(r, 0, 0, int(s0>>24)) ^ rec(r, 0, 1, int(s3>>16&0xff)) ^
+			rec(r, 0, 2, int(s2>>8&0xff)) ^ rec(r, 0, 3, int(s1&0xff)) ^ c.dec[k]
+		t1 := rec(r, 1, 0, int(s1>>24)) ^ rec(r, 1, 1, int(s0>>16&0xff)) ^
+			rec(r, 1, 2, int(s3>>8&0xff)) ^ rec(r, 1, 3, int(s2&0xff)) ^ c.dec[k+1]
+		t2 := rec(r, 2, 0, int(s2>>24)) ^ rec(r, 2, 1, int(s1>>16&0xff)) ^
+			rec(r, 2, 2, int(s0>>8&0xff)) ^ rec(r, 2, 3, int(s3&0xff)) ^ c.dec[k+2]
+		t3 := rec(r, 3, 0, int(s3>>24)) ^ rec(r, 3, 1, int(s2>>16&0xff)) ^
+			rec(r, 3, 2, int(s1>>8&0xff)) ^ rec(r, 3, 3, int(s0&0xff)) ^ c.dec[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	fr := c.nr
+	out0 := rec(fr, 0, 4, int(s0>>24))<<24 | rec(fr, 0, 4, int(s3>>16&0xff))<<16 |
+		rec(fr, 0, 4, int(s2>>8&0xff))<<8 | rec(fr, 0, 4, int(s1&0xff))
+	out1 := rec(fr, 1, 4, int(s1>>24))<<24 | rec(fr, 1, 4, int(s0>>16&0xff))<<16 |
+		rec(fr, 1, 4, int(s3>>8&0xff))<<8 | rec(fr, 1, 4, int(s2&0xff))
+	out2 := rec(fr, 2, 4, int(s2>>24))<<24 | rec(fr, 2, 4, int(s1>>16&0xff))<<16 |
+		rec(fr, 2, 4, int(s0>>8&0xff))<<8 | rec(fr, 2, 4, int(s3&0xff))
+	out3 := rec(fr, 3, 4, int(s3>>24))<<24 | rec(fr, 3, 4, int(s2>>16&0xff))<<16 |
+		rec(fr, 3, 4, int(s1>>8&0xff))<<8 | rec(fr, 3, 4, int(s0&0xff))
+	binary.BigEndian.PutUint32(dst[0:], out0^c.dec[k])
+	binary.BigEndian.PutUint32(dst[4:], out1^c.dec[k+1])
+	binary.BigEndian.PutUint32(dst[8:], out2^c.dec[k+2])
+	binary.BigEndian.PutUint32(dst[12:], out3^c.dec[k+3])
+}
+
+// LinesPerTable is the number of cache lines each Td table spans (64-byte
+// lines, 4-byte entries).
+const LinesPerTable = 16
+
+// AccessedLines reduces a trace to the set of cache lines touched per
+// table: result[table] is a bitmask of the 16 lines (bit i = line i).
+// Table index 4 is Td4.
+func AccessedLines(trace []TableAccess) [5]uint16 {
+	var out [5]uint16
+	for _, a := range trace {
+		out[a.Table] |= 1 << uint(a.Line())
+	}
+	return out
+}

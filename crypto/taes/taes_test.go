@@ -1,0 +1,260 @@
+package taes
+
+import (
+	"bytes"
+	"crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSBoxKnownValues(t *testing.T) {
+	// FIPS-197 spot checks.
+	cases := map[byte]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16}
+	for in, want := range cases {
+		if sbox[in] != want {
+			t.Errorf("sbox[%#x] = %#x, want %#x", in, sbox[in], want)
+		}
+	}
+	// Inverse S-box inverts.
+	for i := 0; i < 256; i++ {
+		if sboxI[sbox[i]] != byte(i) {
+			t.Fatalf("inv sbox broken at %d", i)
+		}
+	}
+}
+
+func TestGmulProperties(t *testing.T) {
+	if gmul(0x57, 0x83) != 0xc1 { // FIPS-197 example
+		t.Errorf("gmul(0x57,0x83) = %#x, want 0xc1", gmul(0x57, 0x83))
+	}
+	f := func(a, b byte) bool { return gmul(a, b) == gmul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("gmul not commutative:", err)
+	}
+	g := func(a byte) bool { return gmul(a, 1) == a && gmul(a, 2) == xtime(a) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error("gmul identity/xtime:", err)
+	}
+}
+
+func TestTdTableStructure(t *testing.T) {
+	// Tdi must be Td0 rotated right by 8i bits.
+	for i := 1; i < 4; i++ {
+		for x := 0; x < 256; x++ {
+			w := td[0][x]
+			want := w>>(8*uint(i)) | w<<(32-8*uint(i))
+			if td[i][x] != want {
+				t.Fatalf("Td%d[%#x] = %#x, want %#x", i, x, td[i][x], want)
+			}
+		}
+	}
+}
+
+func TestFIPSKnownAnswer128(t *testing.T) {
+	// FIPS-197 Appendix C.1.
+	key := []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+		0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}
+	pt := []byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+		0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	wantCT := []byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+		0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := make([]byte, 16)
+	c.Encrypt(ct, pt)
+	if !bytes.Equal(ct, wantCT) {
+		t.Fatalf("ciphertext = %x, want %x", ct, wantCT)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, ct)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("decrypt = %x, want %x", back, pt)
+	}
+}
+
+func TestMatchesStdlibAllKeySizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, keyLen)
+			pt := make([]byte, 16)
+			rng.Read(key)
+			rng.Read(pt)
+
+			ref, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ours.Rounds() != keyLen/4+6 {
+				t.Fatalf("rounds = %d for key len %d", ours.Rounds(), keyLen)
+			}
+
+			want := make([]byte, 16)
+			got := make([]byte, 16)
+			ref.Encrypt(want, pt)
+			ours.Encrypt(got, pt)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("keyLen %d trial %d: encrypt mismatch\n got %x\nwant %x",
+					keyLen, trial, got, want)
+			}
+			back := make([]byte, 16)
+			ours.Decrypt(back, want)
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("keyLen %d trial %d: decrypt mismatch\n got %x\nwant %x",
+					keyLen, trial, back, pt)
+			}
+		}
+	}
+}
+
+func TestNewCipherRejectsBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 31, 33, 64} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestDecryptTraceStructure(t *testing.T) {
+	key := make([]byte, 16)
+	ct := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i * 11)
+	}
+	for i := range ct {
+		ct[i] = byte(i * 7)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 16)
+	trace := c.DecryptTrace(pt, ct)
+
+	// 9 middle rounds × 4 columns × 4 lookups + final round 16 lookups.
+	want := (c.Rounds()-1)*16 + 16
+	if len(trace) != want {
+		t.Fatalf("trace has %d accesses, want %d", len(trace), want)
+	}
+	// Tracing must not change the result.
+	pt2 := make([]byte, 16)
+	c.Decrypt(pt2, ct)
+	if !bytes.Equal(pt, pt2) {
+		t.Error("traced decryption result differs")
+	}
+	// Structural checks.
+	for i, a := range trace {
+		if a.Index < 0 || a.Index > 255 || a.Table < 0 || a.Table > 4 ||
+			a.Column < 0 || a.Column > 3 {
+			t.Fatalf("access %d out of range: %+v", i, a)
+		}
+		if a.Round < c.Rounds() && a.Table == 4 {
+			t.Fatalf("Td4 access in middle round: %+v", a)
+		}
+		if a.Round == c.Rounds() && a.Table != 4 {
+			t.Fatalf("Td0-3 access in final round: %+v", a)
+		}
+		if a.Line() != a.Index/16 {
+			t.Fatalf("Line() inconsistent: %+v", a)
+		}
+	}
+	// Middle rounds use each table exactly once per column.
+	for r := 1; r < c.Rounds(); r++ {
+		for col := 0; col < 4; col++ {
+			var seen [4]int
+			for _, a := range trace {
+				if a.Round == r && a.Column == col {
+					seen[a.Table]++
+				}
+			}
+			if seen != [4]int{1, 1, 1, 1} {
+				t.Fatalf("round %d col %d table usage %v", r, col, seen)
+			}
+		}
+	}
+}
+
+func TestAccessedLines(t *testing.T) {
+	trace := []TableAccess{
+		{Round: 1, Table: 0, Index: 0},   // line 0
+		{Round: 1, Table: 0, Index: 17},  // line 1
+		{Round: 1, Table: 3, Index: 255}, // line 15
+		{Round: 10, Table: 4, Index: 35}, // line 2
+	}
+	lines := AccessedLines(trace)
+	if lines[0] != 0b11 {
+		t.Errorf("table 0 lines = %#b", lines[0])
+	}
+	if lines[3] != 1<<15 {
+		t.Errorf("table 3 lines = %#b", lines[3])
+	}
+	if lines[4] != 1<<2 {
+		t.Errorf("table 4 lines = %#b", lines[4])
+	}
+	if lines[1] != 0 || lines[2] != 0 {
+		t.Error("untouched tables have lines set")
+	}
+}
+
+func TestDecKeyOrdering(t *testing.T) {
+	key := make([]byte, 16)
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, dec := c.EncKey(), c.DecKey()
+	if len(enc) != 44 || len(dec) != 44 {
+		t.Fatalf("schedule lengths %d/%d", len(enc), len(dec))
+	}
+	// First dec round key = last enc round key (no InvMixColumns).
+	for j := 0; j < 4; j++ {
+		if dec[j] != enc[40+j] {
+			t.Errorf("dec[%d] = %#x, want %#x", j, dec[j], enc[40+j])
+		}
+	}
+	// Last dec round key = first enc round key.
+	for j := 0; j < 4; j++ {
+		if dec[40+j] != enc[j] {
+			t.Errorf("dec[%d] = %#x, want %#x", 40+j, dec[40+j], enc[j])
+		}
+	}
+}
+
+// Property: decryption trace indices are a deterministic function of
+// (key, ciphertext).
+func TestTraceDeterministic(t *testing.T) {
+	f := func(keySeed, ctSeed int64) bool {
+		rng := rand.New(rand.NewSource(keySeed))
+		key := make([]byte, 16)
+		rng.Read(key)
+		rng = rand.New(rand.NewSource(ctSeed))
+		ct := make([]byte, 16)
+		rng.Read(ct)
+		c, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		out1, out2 := make([]byte, 16), make([]byte, 16)
+		tr1 := c.DecryptTrace(out1, ct)
+		tr2 := c.DecryptTrace(out2, ct)
+		if len(tr1) != len(tr2) {
+			return false
+		}
+		for i := range tr1 {
+			if tr1[i] != tr2[i] {
+				return false
+			}
+		}
+		return bytes.Equal(out1, out2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

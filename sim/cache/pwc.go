@@ -1,0 +1,78 @@
+package cache
+
+import "microscope/sim/mem"
+
+// PWC is the page-walk cache: a small fully-associative cache over
+// page-table entries of the three *upper* levels (PGD, PUD, PMD). Leaf
+// PTEs are never cached here, matching the MMU organisation in the paper's
+// §2.1. A PWC hit lets the hardware walker skip the memory accesses for
+// the cached levels.
+type PWC struct {
+	capacity int
+	entries  map[uint64]*pwcEntry // keyed by entry physical address
+	clock    uint64
+	hits     uint64
+	misses   uint64
+}
+
+type pwcEntry struct {
+	level mem.Level
+	lru   uint64
+}
+
+// NewPWC returns a PWC holding up to capacity upper-level entries.
+func NewPWC(capacity int) *PWC {
+	return &PWC{capacity: capacity, entries: make(map[uint64]*pwcEntry, capacity)}
+}
+
+// Lookup reports whether the page-table entry at physical address ea is
+// cached, updating recency on hit.
+func (p *PWC) Lookup(ea uint64) bool {
+	p.clock++
+	if e, ok := p.entries[ea]; ok {
+		e.lru = p.clock
+		p.hits++
+		return true
+	}
+	p.misses++
+	return false
+}
+
+// Insert caches the upper-level entry at ea. Leaf (PTE-level) insertions
+// are ignored.
+func (p *PWC) Insert(ea uint64, level mem.Level) {
+	if level == mem.PTE || p.capacity <= 0 {
+		return
+	}
+	p.clock++
+	if e, ok := p.entries[ea]; ok {
+		e.lru = p.clock
+		return
+	}
+	if len(p.entries) >= p.capacity {
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for k, e := range p.entries {
+			if e.lru < oldest {
+				oldest, victim = e.lru, k
+			}
+		}
+		delete(p.entries, victim)
+	}
+	p.entries[ea] = &pwcEntry{level: level, lru: p.clock}
+}
+
+// Flush removes the entry at ea (MicroScope setup flushes the PWC along
+// with the cache hierarchy so the walk starts from scratch).
+func (p *PWC) Flush(ea uint64) { delete(p.entries, ea) }
+
+// FlushAll empties the PWC.
+func (p *PWC) FlushAll() {
+	clear(p.entries)
+}
+
+// Len returns the number of cached entries.
+func (p *PWC) Len() int { return len(p.entries) }
+
+// Stats returns cumulative hit/miss counts.
+func (p *PWC) Stats() (hits, misses uint64) { return p.hits, p.misses }

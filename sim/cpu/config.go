@@ -1,0 +1,123 @@
+// Package cpu implements the cycle-level simulated processor core: an
+// out-of-order, SMT-capable engine with a reorder buffer, shared execution
+// ports (including a non-pipelined divider), TLBs backed by a hardware
+// page walker that fetches page-table entries through the cache hierarchy,
+// precise exceptions, and branch prediction.
+//
+// It reproduces the microarchitectural contract MicroScope exploits
+// (paper §2.2): on a TLB miss the core continues fetching and executing
+// younger instructions during the hardware page walk; if the walk ends in
+// a page fault, the fault is raised only when the faulting instruction
+// reaches the head of the ROB, at which point all younger (speculatively
+// executed) instructions are squashed and the core resumes at the faulting
+// instruction after the OS handler returns — replaying everything after
+// the replay handle.
+package cpu
+
+import "microscope/sim/cache"
+
+// Config parameterizes a core. DefaultConfig approximates the paper's
+// Intel Xeon E5-1630 v3 (Haswell) at the fidelity the attacks need.
+type Config struct {
+	// Contexts is the number of SMT hardware contexts sharing the core.
+	Contexts int
+	// ROBSize is the reorder-buffer capacity per context (SMT cores
+	// statically partition the physical ROB).
+	ROBSize int
+	// FetchWidth / IssueWidth / RetireWidth are per-cycle limits.
+	FetchWidth  int
+	IssueWidth  int
+	RetireWidth int
+
+	// Execution latencies, in cycles.
+	ALULat  int
+	MulLat  int
+	FAddLat int
+	DivLat  int // integer divide (non-pipelined occupancy)
+	FDivLat int // FP divide (non-pipelined occupancy)
+	// SubnormalPenalty is added to FDivLat when an operand or the result
+	// is subnormal — the microcode-assist latency the FPU subnormal
+	// attack [7] measures and Fig. 5 targets.
+	SubnormalPenalty int
+
+	// Translation latencies.
+	TLBL1Lat int // L1 TLB hit
+	TLBL2Lat int // L2 TLB hit (additional)
+	PWCLat   int // page-walk-cache hit per level
+	PWCSize  int // entries
+
+	// FencedRdrand models the fence Intel ships inside RDRAND (§7.2):
+	// when true, no younger instruction dispatches until RDRAND retires,
+	// defeating the replay-bias attack.
+	FencedRdrand bool
+
+	// FenceAfterFlush models the paper's first §8 countermeasure: after
+	// every pipeline flush (fault or mispredict), an implicit fence keeps
+	// younger instructions from dispatching until the re-fetched
+	// instruction retires — so a replay window contains only the handle.
+	FenceAfterFlush bool
+
+	// InvisibleSpeculation models InvisiSpec/SafeSpec-style defenses
+	// (§8): speculative loads do not modify the cache hierarchy; the fill
+	// happens at retirement. Squashed (transient) loads therefore leave
+	// no cache footprint — but contention channels remain (the paper's
+	// criticism of these schemes).
+	InvisibleSpeculation bool
+
+	// BranchPredictorBits sizes the per-context predictor (2^bits
+	// entries).
+	BranchPredictorBits int
+
+	// RandSeed seeds the deterministic RDRAND source.
+	RandSeed uint64
+
+	// JitterPeriod/JitterExtra inject deterministic timing noise: every
+	// JitterPeriod-th executed instruction takes JitterExtra additional
+	// cycles (DRAM refresh, prefetcher interference, SMIs, ...). Zero
+	// disables. The Fig. 10 experiments enable it so the "quiet"
+	// distribution has the rare outliers the paper reports (4 of 10,000
+	// samples).
+	JitterPeriod int
+	JitterExtra  int
+
+	// Hierarchy configures the cache subsystem.
+	Hierarchy cache.HierarchyConfig
+}
+
+// DefaultConfig returns the baseline configuration used across the
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		Contexts:            2,
+		ROBSize:             192,
+		FetchWidth:          4,
+		IssueWidth:          6,
+		RetireWidth:         4,
+		ALULat:              1,
+		MulLat:              3,
+		FAddLat:             4,
+		DivLat:              24,
+		FDivLat:             24,
+		SubnormalPenalty:    120,
+		TLBL1Lat:            1,
+		TLBL2Lat:            7,
+		PWCLat:              1,
+		PWCSize:             32,
+		BranchPredictorBits: 10,
+		RandSeed:            0x5ca1ab1e,
+		Hierarchy:           cache.DefaultHierarchyConfig(),
+	}
+}
+
+func (c Config) validate() {
+	switch {
+	case c.Contexts <= 0:
+		panic("cpu: Contexts must be positive")
+	case c.ROBSize <= 0:
+		panic("cpu: ROBSize must be positive")
+	case c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0:
+		panic("cpu: pipeline widths must be positive")
+	case c.DivLat <= 0 || c.FDivLat <= 0:
+		panic("cpu: divider latencies must be positive")
+	}
+}

@@ -1,0 +1,184 @@
+package cpu
+
+import (
+	"fmt"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+	"microscope/sim/pipeline"
+)
+
+// AbortReg is the integer register that receives the abort count when a
+// transaction aborts (the simulated analogue of EAX holding the TSX abort
+// status).
+const AbortReg = isa.R15
+
+// ContextStats aggregates per-context event counts.
+type ContextStats struct {
+	Fetched            uint64
+	Retired            uint64
+	Squashed           uint64
+	PageFaults         uint64 // precise faults delivered (replays observed by the victim)
+	TxAborts           uint64
+	Mispredicts        uint64
+	MemOrderViolations uint64
+	StallCycles        uint64 // cycles spent in the (simulated) kernel fault handler
+}
+
+// Context is one SMT hardware context: architectural registers, a fetch
+// engine with a branch predictor, and a private ROB partition. Execution
+// ports, caches, TLBs and the page walker are shared core-level resources.
+type Context struct {
+	id   int
+	core *Core
+
+	as   *mem.AddressSpace
+	prog *isa.Program
+
+	regs [isa.NumRegs]uint64
+
+	rob *pipeline.ROB
+	rat [isa.NumRegs]*pipeline.Entry
+	bp  *pipeline.Predictor
+
+	fetchPC     int
+	fetchHalted bool
+	halted      bool
+	stallUntil  uint64 // fetch/dispatch suppressed until this cycle
+	// serialize implements Config.FenceAfterFlush: set after a pipeline
+	// flush; while set, at most one instruction may be in flight.
+	serialize bool
+
+	// Transaction state (simplified TSX: registers and PC roll back on
+	// abort; memory writes are not buffered — the replay experiments do
+	// not depend on memory rollback).
+	inTx         bool
+	txCheckpoint [isa.NumRegs]uint64
+	txAbortPC    int
+	// txWriteSet records the physical cache lines written inside the
+	// current transaction; evicting one aborts the transaction, the TSX
+	// property §7.1 exploits ("will abort a transaction if dirty data is
+	// evicted from the private cache, which can be easily controlled by
+	// an attacker").
+	txWriteSet map[mem.Addr]struct{}
+
+	// Derived counters kept in sync with ROB contents to avoid O(ROB)
+	// scans per cycle. Recomputed after squashes by recount.
+	nDispatched int // entries in StateDispatched
+	nIssued     int // entries in StateIssued
+	nFences     int // unretired fence-acting entries
+
+	stats ContextStats
+}
+
+// ID returns the context index within its core.
+func (ctx *Context) ID() int { return ctx.id }
+
+// SetAddressSpace binds the context to an address space (CR3 write).
+func (ctx *Context) SetAddressSpace(as *mem.AddressSpace) { ctx.as = as }
+
+// AddressSpace returns the bound address space.
+func (ctx *Context) AddressSpace() *mem.AddressSpace { return ctx.as }
+
+// SetProgram loads a program and resets the fetch engine to entry.
+func (ctx *Context) SetProgram(p *isa.Program, entry int) {
+	if entry < 0 || entry >= p.Len() {
+		panic(fmt.Sprintf("cpu: entry %d outside program of %d instrs", entry, p.Len()))
+	}
+	ctx.prog = p
+	ctx.fetchPC = entry
+	ctx.fetchHalted = false
+	ctx.halted = false
+	ctx.rob.SquashAll()
+	ctx.clearRAT()
+	ctx.recount()
+}
+
+// Program returns the loaded program.
+func (ctx *Context) Program() *isa.Program { return ctx.prog }
+
+// Reg returns the architectural value of r.
+func (ctx *Context) Reg(r isa.Reg) uint64 { return ctx.regs[r] }
+
+// SetReg sets the architectural value of r. Only meaningful while the
+// context is idle (between runs); in-flight instructions hold their own
+// operand copies.
+func (ctx *Context) SetReg(r isa.Reg, v uint64) { ctx.regs[r] = v }
+
+// Halted reports whether the context has retired a halt.
+func (ctx *Context) Halted() bool { return ctx.halted }
+
+// Stalled reports whether the context is inside the simulated kernel
+// fault handler at the given cycle.
+func (ctx *Context) Stalled(cycle uint64) bool { return cycle < ctx.stallUntil }
+
+// InTx reports whether the context is inside a transaction.
+func (ctx *Context) InTx() bool { return ctx.inTx }
+
+// Stats returns the accumulated event counts.
+func (ctx *Context) Stats() ContextStats { return ctx.stats }
+
+// Predictor exposes the context's branch predictor (the enclave runtime
+// flushes it at the boundary; the adversary primes it).
+func (ctx *Context) Predictor() *pipeline.Predictor { return ctx.bp }
+
+// PC returns the current fetch program counter.
+func (ctx *Context) PC() int { return ctx.fetchPC }
+
+func (ctx *Context) clearRAT() {
+	for i := range ctx.rat {
+		ctx.rat[i] = nil
+	}
+}
+
+// rebuildRAT reconstructs the register-alias table from the surviving ROB
+// contents after a partial squash.
+func (ctx *Context) rebuildRAT() {
+	ctx.clearRAT()
+	ctx.rob.Walk(func(e *pipeline.Entry) bool {
+		if d := e.Instr.Dest(); d != isa.NoReg {
+			ctx.rat[d] = e
+		}
+		return true
+	})
+}
+
+// squashAll flushes the context's whole pipeline (precise exception).
+func (ctx *Context) squashAll() {
+	ctx.stats.Squashed += uint64(ctx.rob.SquashAll())
+	ctx.clearRAT()
+	ctx.fetchHalted = false
+	ctx.recount()
+}
+
+// squashYounger flushes everything younger than seq (branch mispredict).
+func (ctx *Context) squashYounger(seq uint64) {
+	ctx.stats.Squashed += uint64(ctx.rob.SquashYounger(seq))
+	ctx.rebuildRAT()
+	ctx.fetchHalted = false
+	ctx.recount()
+}
+
+// isFenceActing reports whether op blocks younger dispatch until it
+// retires (OpFence always; OpRdrand when the core is configured with the
+// Intel fence, §7.2).
+func (ctx *Context) isFenceActing(op isa.Op) bool {
+	return op == isa.OpFence || (op == isa.OpRdrand && ctx.core.cfg.FencedRdrand)
+}
+
+// recount recomputes the derived ROB counters after a squash.
+func (ctx *Context) recount() {
+	ctx.nDispatched, ctx.nIssued, ctx.nFences = 0, 0, 0
+	ctx.rob.Walk(func(e *pipeline.Entry) bool {
+		switch e.State {
+		case pipeline.StateDispatched:
+			ctx.nDispatched++
+		case pipeline.StateIssued:
+			ctx.nIssued++
+		}
+		if ctx.isFenceActing(e.Instr.Op) {
+			ctx.nFences++
+		}
+		return true
+	})
+}

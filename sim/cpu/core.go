@@ -1,0 +1,907 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"microscope/sim/cache"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+	"microscope/sim/pipeline"
+	"microscope/sim/tlb"
+)
+
+// PageFault describes a precise page-fault exception delivered to the
+// fault handler. The handler (the OS — honest or malicious) sees the
+// faulting virtual address, as SGX reveals the VPN of enclave faults to
+// the OS (§2.3).
+type PageFault struct {
+	Context int
+	PC      int
+	VA      mem.Addr
+	Write   bool
+	Level   mem.Level // page-table level at which the walk failed
+	Instr   isa.Instr
+}
+
+// FaultOutcome tells the core how to resume after the handler returns.
+// The core always resumes at the faulting instruction (precise exception
+// semantics) unless Terminate is set.
+type FaultOutcome struct {
+	// HandlerLatency is the number of cycles the faulting context spends
+	// in the kernel before re-fetching the faulting instruction. Other
+	// SMT contexts keep running during this time — which is when the
+	// paper's free-running Monitor takes most of its samples (§6.1).
+	HandlerLatency uint64
+	// Terminate halts the context (unrecoverable fault).
+	Terminate bool
+}
+
+// FaultHandler services page faults. The kernel package provides the
+// standard implementation; MicroScope hooks into it.
+type FaultHandler interface {
+	HandlePageFault(f PageFault) FaultOutcome
+}
+
+// FaultHandlerFunc adapts a function to the FaultHandler interface.
+type FaultHandlerFunc func(f PageFault) FaultOutcome
+
+// HandlePageFault implements FaultHandler.
+func (fn FaultHandlerFunc) HandlePageFault(f PageFault) FaultOutcome { return fn(f) }
+
+// EventKind classifies tracer events.
+type EventKind int
+
+// Tracer event kinds.
+const (
+	EvFetch EventKind = iota
+	EvIssue
+	EvComplete
+	EvRetire
+	EvSquash
+	EvFault
+	EvTxAbort
+)
+
+// String returns the event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvFetch:
+		return "fetch"
+	case EvIssue:
+		return "issue"
+	case EvComplete:
+		return "complete"
+	case EvRetire:
+		return "retire"
+	case EvSquash:
+		return "squash"
+	case EvFault:
+		return "fault"
+	case EvTxAbort:
+		return "txabort"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one pipeline event, delivered to an attached Tracer.
+type Event struct {
+	Cycle   uint64
+	Context int
+	Kind    EventKind
+	PC      int
+	Instr   isa.Instr
+	Detail  string
+}
+
+// Tracer observes pipeline events (used by the Fig. 3 timeline tool and
+// by white-box tests).
+type Tracer interface {
+	Trace(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(ev Event) { f(ev) }
+
+// Core is one simulated physical core with SMT contexts.
+type Core struct {
+	cfg  Config
+	phys *mem.PhysMem
+	hier *cache.Hierarchy
+	pwc  *cache.PWC
+	tlbs *tlb.Unit
+
+	contexts []*Context
+	ports    pipeline.PortSet
+
+	cycle uint64
+	seq   uint64
+
+	faultHandler FaultHandler
+	tracer       Tracer
+
+	rngState    uint64
+	jitterCount uint64
+}
+
+// NewCore builds a core over the given physical memory.
+func NewCore(cfg Config, phys *mem.PhysMem) *Core {
+	cfg.validate()
+	c := &Core{
+		cfg:      cfg,
+		phys:     phys,
+		hier:     cache.NewHierarchy(cfg.Hierarchy),
+		pwc:      cache.NewPWC(cfg.PWCSize),
+		tlbs:     tlb.NewUnit(),
+		rngState: cfg.RandSeed | 1,
+	}
+	for i := 0; i < cfg.Contexts; i++ {
+		c.contexts = append(c.contexts, &Context{
+			id:   i,
+			core: c,
+			rob:  pipeline.NewROB(cfg.ROBSize),
+			bp:   pipeline.NewPredictor(cfg.BranchPredictorBits),
+		})
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Phys returns the physical memory.
+func (c *Core) Phys() *mem.PhysMem { return c.phys }
+
+// Hierarchy returns the cache subsystem.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// PWC returns the page-walk cache.
+func (c *Core) PWC() *cache.PWC { return c.pwc }
+
+// TLBs returns the TLB complex.
+func (c *Core) TLBs() *tlb.Unit { return c.tlbs }
+
+// Context returns SMT context i.
+func (c *Core) Context(i int) *Context { return c.contexts[i] }
+
+// Contexts returns the number of SMT contexts.
+func (c *Core) Contexts() int { return len(c.contexts) }
+
+// Cycle returns the current cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Ports exposes the shared execution-port state (diagnostics).
+func (c *Core) Ports() *pipeline.PortSet { return &c.ports }
+
+// SetFaultHandler installs the page-fault handler.
+func (c *Core) SetFaultHandler(h FaultHandler) { c.faultHandler = h }
+
+// SetTracer attaches a pipeline tracer (nil detaches).
+func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *Core) trace(ev Event) {
+	if c.tracer != nil {
+		ev.Cycle = c.cycle
+		c.tracer.Trace(ev)
+	}
+}
+
+// FlushPageStructures removes the cached state MicroScope scrubs during
+// attack setup: the line holding a page-table entry from all cache levels
+// and from the PWC.
+func (c *Core) FlushPageStructures(entryAddr mem.Addr) {
+	c.hier.FlushAddr(entryAddr)
+	c.pwc.Flush(entryAddr)
+}
+
+// rdrand returns the next value of the deterministic hardware RNG
+// (xorshift64*).
+func (c *Core) rdrand() uint64 {
+	x := c.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Halted reports whether every context with a loaded program has halted.
+func (c *Core) Halted() bool {
+	for _, ctx := range c.contexts {
+		if ctx.prog != nil && !ctx.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	c.cycle++
+	c.ports.NewCycle(c.cycle)
+	c.complete()
+	c.retire()
+	c.issue()
+	c.fetch()
+}
+
+// Run steps until all contexts halt or maxCycles elapse, returning the
+// number of cycles stepped.
+func (c *Core) Run(maxCycles uint64) uint64 {
+	start := c.cycle
+	for !c.Halted() && c.cycle-start < maxCycles {
+		c.Step()
+	}
+	return c.cycle - start
+}
+
+// RunUntil steps until cond returns true or maxCycles elapse, reporting
+// whether cond was met.
+func (c *Core) RunUntil(cond func() bool, maxCycles uint64) bool {
+	start := c.cycle
+	for c.cycle-start < maxCycles {
+		if cond() {
+			return true
+		}
+		if c.Halted() {
+			return cond()
+		}
+		c.Step()
+	}
+	return cond()
+}
+
+// ---------------------------------------------------------------------
+// Complete stage
+// ---------------------------------------------------------------------
+
+func (c *Core) complete() {
+	for _, ctx := range c.contexts {
+		if ctx.nIssued == 0 {
+			continue
+		}
+		// Collect first: branch redirects mutate the ROB mid-walk.
+		var done []*pipeline.Entry
+		ctx.rob.Walk(func(e *pipeline.Entry) bool {
+			if e.State == pipeline.StateIssued && e.CompleteAt <= c.cycle {
+				done = append(done, e)
+			}
+			return true
+		})
+		for _, e := range done {
+			if e.State != pipeline.StateIssued {
+				continue // squashed by an older branch this same cycle
+			}
+			ctx.nIssued--
+			if e.Fault != nil && c.recheckFault(ctx, e) {
+				e.Fault = nil // the PTE became present before the walk concluded
+			}
+			if e.Fault != nil {
+				e.State = pipeline.StateFaulted
+			} else {
+				e.State = pipeline.StateCompleted
+			}
+			c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Instr: e.Instr})
+			if e.Instr.Op.IsCondBranch() {
+				ctx.bp.Update(e.PC, e.ActualPC == e.Instr.Target, e.Instr.Target)
+			}
+			if e.Mispredicted {
+				ctx.bp.RecordMispredict()
+				ctx.stats.Mispredicts++
+				ctx.squashYounger(e.Seq)
+				ctx.fetchPC = e.ActualPC
+				if c.cfg.FenceAfterFlush {
+					ctx.serialize = true
+				}
+				c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
+					Detail: "branch mispredict"})
+			}
+		}
+	}
+}
+
+// recheckFault re-reads the page tables when a walked memory access
+// completes with a pending fault. The hardware walker only consumes the
+// leaf PTE at the *end* of the walk, so supervisor software that sets the
+// present bit mid-walk wins the race and the access completes normally —
+// the §7.2 mechanism behind the selective-replay RDRAND bias attack. It
+// reports whether the fault was resolved, fixing up the entry's result.
+func (c *Core) recheckFault(ctx *Context, e *pipeline.Entry) bool {
+	if !e.Instr.Op.IsMem() || e.WalkCycles == 0 {
+		return false
+	}
+	f, ok := e.Fault.(*mem.Fault)
+	if !ok {
+		return false
+	}
+	leaf, _, err := ctx.as.LeafEntry(e.EffAddr)
+	if err != nil || !leaf.Present() {
+		return false
+	}
+	if f.Write && !leaf.Writable() {
+		return false
+	}
+	pa := leaf.PPN()<<mem.PageShift | mem.PageOffset(e.EffAddr)
+	if pa+8 > c.phys.Size() {
+		return false
+	}
+	c.tlbs.InsertData(tlb.Translation{
+		VPN:   mem.PageNum(e.EffAddr),
+		PPN:   leaf.PPN(),
+		PCID:  ctx.as.PCID(),
+		Flags: tlb.FlagsFromEntry(leaf),
+	})
+	e.PhysAddr = pa
+	if e.Instr.Op.IsLoad() {
+		if !c.cfg.InvisibleSpeculation {
+			c.hier.Access(pa)
+		}
+		if e.Instr.Op == isa.OpLoad32 {
+			e.Result = uint64(c.phys.Read32(pa))
+		} else {
+			e.Result = c.phys.Read64(pa)
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Retire stage
+// ---------------------------------------------------------------------
+
+func (c *Core) retire() {
+	for _, ctx := range c.contexts {
+	retireLoop:
+		for n := 0; n < c.cfg.RetireWidth; n++ {
+			head := ctx.rob.Head()
+			if head == nil || ctx.halted {
+				break
+			}
+			switch head.State {
+			case pipeline.StateCompleted:
+				ctx.rob.PopHead()
+				c.commit(ctx, head)
+			case pipeline.StateFaulted:
+				c.deliverFault(ctx, head)
+				break retireLoop // whole pipeline flushed
+			default:
+				break retireLoop // head not done; stall
+			}
+		}
+	}
+}
+
+// commit applies the architectural effects of a completed instruction.
+func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
+	e.State = pipeline.StateRetired
+	ctx.serialize = false // first post-flush retirement lifts the fence
+	ctx.stats.Retired++
+	c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Instr: e.Instr})
+
+	if d := e.Instr.Dest(); d != isa.NoReg {
+		ctx.regs[d] = e.Result
+		if ctx.rat[d] == e {
+			ctx.rat[d] = nil
+		}
+	}
+
+	if ctx.isFenceActing(e.Instr.Op) {
+		ctx.nFences--
+	}
+
+	if c.cfg.InvisibleSpeculation && e.Instr.Op.IsLoad() && e.PhysAddr != 0 {
+		c.hier.Access(e.PhysAddr) // deferred fill of the retired load
+	}
+
+	switch e.Instr.Op {
+	case isa.OpStore, isa.OpStoreF:
+		// The store's write becomes visible at commit.
+		c.phys.Write64(e.PhysAddr, e.Src[1].Value)
+		c.hier.Access(e.PhysAddr)
+		c.trackTxWrite(ctx, e.PhysAddr)
+	case isa.OpStore32:
+		c.phys.Write32(e.PhysAddr, uint32(e.Src[1].Value))
+		c.hier.Access(e.PhysAddr)
+		c.trackTxWrite(ctx, e.PhysAddr)
+	case isa.OpHalt:
+		ctx.halted = true
+		ctx.fetchHalted = true
+	case isa.OpTxBegin:
+		ctx.inTx = true
+		ctx.txCheckpoint = ctx.regs
+		ctx.txAbortPC = e.Instr.Target
+		ctx.txWriteSet = make(map[mem.Addr]struct{})
+	case isa.OpTxEnd:
+		ctx.inTx = false
+		ctx.txWriteSet = nil
+	case isa.OpTxAbort:
+		c.abortTx(ctx, "explicit txabort")
+	}
+}
+
+// trackTxWrite records a committed store's cache line in the write set
+// of an active transaction.
+func (c *Core) trackTxWrite(ctx *Context, pa mem.Addr) {
+	if ctx.inTx && ctx.txWriteSet != nil {
+		ctx.txWriteSet[pa&^63] = struct{}{}
+	}
+}
+
+// EvictLine flushes a physical line from the cache hierarchy AND aborts
+// any transaction whose write set contains it — the attacker-controlled
+// TSX abort trigger of §7.1. It reports whether a transaction aborted.
+func (c *Core) EvictLine(pa mem.Addr) bool {
+	c.hier.FlushAddr(pa)
+	line := pa &^ 63
+	aborted := false
+	for _, ctx := range c.contexts {
+		if ctx.inTx && ctx.txWriteSet != nil {
+			if _, ok := ctx.txWriteSet[line]; ok {
+				c.abortTx(ctx, "write-set eviction")
+				aborted = true
+			}
+		}
+	}
+	return aborted
+}
+
+// abortTx rolls the context back to its transaction checkpoint and
+// redirects fetch to the abort handler. AbortReg receives the cumulative
+// abort count, letting handlers implement T-SGX-style thresholds.
+func (c *Core) abortTx(ctx *Context, reason string) {
+	if !ctx.inTx {
+		return
+	}
+	ctx.stats.TxAborts++
+	ctx.squashAll()
+	ctx.regs = ctx.txCheckpoint
+	ctx.regs[AbortReg] = ctx.stats.TxAborts
+	ctx.fetchPC = ctx.txAbortPC
+	ctx.inTx = false
+	ctx.txWriteSet = nil
+	c.trace(Event{Context: ctx.id, Kind: EvTxAbort, PC: ctx.txAbortPC, Detail: reason})
+}
+
+// Preempt delivers a precise external interrupt to a context: in-flight
+// work is squashed, the context spends handlerLatency cycles in the
+// (simulated) kernel, and execution resumes at the oldest unretired
+// instruction. This is the timer-interrupt primitive SGX-Step-style
+// attacks [57] use to single-step a victim — one of the noisy baselines
+// of Table 1.
+func (c *Core) Preempt(ctxID int, handlerLatency uint64) {
+	ctx := c.contexts[ctxID]
+	if ctx.inTx {
+		// An interrupt aborts a transaction, as on real TSX.
+		c.abortTx(ctx, "interrupt")
+		ctx.stallUntil = c.cycle + handlerLatency
+		ctx.stats.StallCycles += handlerLatency
+		return
+	}
+	if head := ctx.rob.Head(); head != nil {
+		ctx.fetchPC = head.PC
+	}
+	ctx.squashAll()
+	if c.cfg.FenceAfterFlush {
+		ctx.serialize = true
+	}
+	ctx.stallUntil = c.cycle + handlerLatency
+	ctx.stats.StallCycles += handlerLatency
+}
+
+// AbortTx aborts the context's transaction from outside the pipeline
+// (attacker-induced: write-set eviction, interrupt, ...). It reports
+// whether a transaction was active.
+func (c *Core) AbortTx(ctxID int, reason string) bool {
+	ctx := c.contexts[ctxID]
+	if !ctx.inTx {
+		return false
+	}
+	c.abortTx(ctx, reason)
+	return true
+}
+
+// deliverFault implements precise exception delivery: squash everything,
+// run the (simulated) OS handler, stall for its latency, and resume at the
+// faulting instruction.
+func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
+	// A fault inside a transaction aborts the transaction instead of
+	// trapping to the OS — the TSX behaviour T-SGX builds on (§8).
+	if ctx.inTx {
+		c.abortTx(ctx, fmt.Sprintf("page fault in tx at pc=%d", e.PC))
+		return
+	}
+
+	ctx.stats.PageFaults++
+	ctx.squashAll()
+	ctx.fetchPC = e.PC
+	if c.cfg.FenceAfterFlush {
+		ctx.serialize = true
+	}
+
+	f, _ := e.Fault.(*mem.Fault)
+	if f == nil {
+		f = &mem.Fault{VA: e.EffAddr, Level: mem.PTE}
+	}
+	pf := PageFault{
+		Context: ctx.id,
+		PC:      e.PC,
+		VA:      f.VA,
+		Write:   f.Write,
+		Level:   f.Level,
+		Instr:   e.Instr,
+	}
+	c.trace(Event{Context: ctx.id, Kind: EvFault, PC: e.PC, Instr: e.Instr,
+		Detail: f.Error()})
+
+	if c.faultHandler == nil {
+		ctx.halted = true
+		ctx.fetchHalted = true
+		return
+	}
+	out := c.faultHandler.HandlePageFault(pf)
+	if out.Terminate {
+		ctx.halted = true
+		ctx.fetchHalted = true
+		return
+	}
+	ctx.stallUntil = c.cycle + out.HandlerLatency
+	ctx.stats.StallCycles += out.HandlerLatency
+}
+
+// ---------------------------------------------------------------------
+// Issue stage
+// ---------------------------------------------------------------------
+
+func (c *Core) issue() {
+	budget := c.cfg.IssueWidth
+	// Alternate context priority cycle by cycle for SMT fairness.
+	first := int(c.cycle) % len(c.contexts)
+	for i := range c.contexts {
+		ctx := c.contexts[(first+i)%len(c.contexts)]
+		if budget == 0 {
+			break
+		}
+		if ctx.Stalled(c.cycle) || ctx.nDispatched == 0 {
+			continue
+		}
+		ctx.rob.Walk(func(e *pipeline.Entry) bool {
+			if budget == 0 || ctx.nDispatched == 0 {
+				return false
+			}
+			if e.State != pipeline.StateDispatched || !e.OperandsReady() {
+				return true
+			}
+			if c.tryIssueEntry(ctx, e) {
+				budget--
+			}
+			return true
+		})
+	}
+}
+
+// occupancyOf returns, without side effects, the functional-unit occupancy
+// of e. Only the (non-pipelined) divider uses it, so it is exact for div
+// ops and irrelevant elsewhere.
+func (c *Core) occupancyOf(e *pipeline.Entry) uint64 {
+	switch e.Instr.Op {
+	case isa.OpDiv:
+		return uint64(c.cfg.DivLat)
+	case isa.OpFDiv:
+		lat := c.cfg.FDivLat
+		fa := math.Float64frombits(e.Src[0].Value)
+		fb := math.Float64frombits(e.Src[1].Value)
+		if isSubnormal(fa) || isSubnormal(fb) || isSubnormal(fa/fb) {
+			lat += c.cfg.SubnormalPenalty
+		}
+		return uint64(lat)
+	default:
+		return 1
+	}
+}
+
+// tryIssueEntry attempts to start executing e, reporting success. The port
+// is claimed before execute runs so that a structural hazard leaves no
+// side effects (the entry retries next cycle).
+func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) bool {
+	op := e.Instr.Op
+
+	// RDTSC reads the cycle counter at the ROB head only (serialized, as
+	// in the rdtscp+fence idiom attack code uses), so monitor timing
+	// measurements are well ordered.
+	if op == isa.OpRdtsc && ctx.rob.Head() != e {
+		return false
+	}
+
+	// Optimistic memory disambiguation: a load forwards from the youngest
+	// older issued store to the same address; older stores with unknown
+	// addresses are speculated past (no-alias prediction). A store that
+	// later discovers a younger already-executed load to its address
+	// triggers a memory-order-violation squash below — itself one of the
+	// §7 replay mechanisms.
+	var forward *pipeline.Entry
+	if op.IsLoad() {
+		va := e.Src[0].Value + uint64(e.Instr.Imm)
+		ctx.rob.Walk(func(se *pipeline.Entry) bool {
+			if se.Seq >= e.Seq {
+				return false
+			}
+			if se.Instr.Op.IsStore() && se.State != pipeline.StateDispatched &&
+				se.EffAddr == va {
+				forward = se // youngest older match wins
+			}
+			return true
+		})
+	}
+
+	if _, ok := c.ports.TryIssue(op, c.occupancyOf(e)); !ok {
+		return false // structural hazard (e.g. divider busy: contention)
+	}
+	lat, result, fault, effAddr, physAddr, walk := c.execute(ctx, e, forward)
+	e.State = pipeline.StateIssued
+	ctx.nDispatched--
+	ctx.nIssued++
+	e.CompleteAt = c.cycle + uint64(lat)
+	e.Result = result
+	e.Fault = fault
+	e.EffAddr = effAddr
+	e.PhysAddr = physAddr
+	e.WalkCycles = walk
+	c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Instr: e.Instr})
+
+	// Memory-order violation: this store's address matches a younger load
+	// that already executed with (possibly stale) memory data. Squash and
+	// re-fetch everything younger than the store.
+	if op.IsStore() && fault == nil {
+		violated := false
+		ctx.rob.Walk(func(ye *pipeline.Entry) bool {
+			if ye.Seq > e.Seq && ye.Instr.Op.IsLoad() &&
+				ye.State != pipeline.StateDispatched && ye.EffAddr == effAddr {
+				violated = true
+				return false
+			}
+			return true
+		})
+		if violated {
+			ctx.stats.MemOrderViolations++
+			ctx.squashYounger(e.Seq)
+			ctx.fetchPC = e.PC + 1
+			c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
+				Detail: "memory order violation"})
+		}
+	}
+	return true
+}
+
+// execute computes an instruction's latency, result and memory effects.
+// Functional effects on the cache/TLB/PWC state happen here (issue time);
+// architectural effects happen at commit. forward, when non-nil, is the
+// store-buffer entry a load forwards its data from.
+func (c *Core) execute(ctx *Context, e *pipeline.Entry, forward *pipeline.Entry) (lat int, result uint64, fault error, effAddr, physAddr mem.Addr, walkCycles int) {
+	in := e.Instr
+	a, b := e.Src[0].Value, e.Src[1].Value
+	lat = c.cfg.ALULat
+
+	switch in.Op {
+	case isa.OpNop, isa.OpFence, isa.OpTxBegin, isa.OpTxEnd, isa.OpTxAbort, isa.OpHalt:
+	case isa.OpMovImm, isa.OpFLoadImm:
+		result = uint64(in.Imm)
+	case isa.OpMov, isa.OpFMov:
+		result = a
+	case isa.OpAdd:
+		result = a + b
+	case isa.OpAddImm:
+		result = a + uint64(in.Imm)
+	case isa.OpSub:
+		result = a - b
+	case isa.OpAnd:
+		result = a & b
+	case isa.OpAndImm:
+		result = a & uint64(in.Imm)
+	case isa.OpOr:
+		result = a | b
+	case isa.OpXor:
+		result = a ^ b
+	case isa.OpShl:
+		result = a << (b & 63)
+	case isa.OpShlImm:
+		result = a << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		result = a >> (b & 63)
+	case isa.OpShrImm:
+		result = a >> (uint64(in.Imm) & 63)
+	case isa.OpMul:
+		result = a * b
+		lat = c.cfg.MulLat
+	case isa.OpDiv:
+		if b != 0 {
+			result = a / b
+		}
+		lat = c.cfg.DivLat
+	case isa.OpFAdd:
+		result = math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+		lat = c.cfg.FAddLat
+	case isa.OpFMul:
+		result = math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+		lat = c.cfg.MulLat
+	case isa.OpFDiv:
+		fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+		q := fa / fb
+		result = math.Float64bits(q)
+		lat = c.cfg.FDivLat
+		if isSubnormal(fa) || isSubnormal(fb) || isSubnormal(q) {
+			lat += c.cfg.SubnormalPenalty
+		}
+	case isa.OpRdtsc:
+		result = c.cycle
+	case isa.OpRdrand:
+		result = c.rdrand()
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp:
+		taken := false
+		switch in.Op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = int64(a) < int64(b)
+		case isa.OpBge:
+			taken = int64(a) >= int64(b)
+		case isa.OpJmp:
+			taken = true
+		}
+		if taken {
+			e.ActualPC = in.Target
+		} else {
+			e.ActualPC = e.PC + 1
+		}
+		e.Mispredicted = e.ActualPC != e.PredictedPC
+	case isa.OpLoad, isa.OpLoad32, isa.OpLoadF:
+		effAddr = a + uint64(in.Imm)
+		res := c.translate(ctx, effAddr, false)
+		lat, walkCycles = res.latency, res.walkCycles
+		if res.fault != nil {
+			fault = res.fault
+			return lat, 0, fault, effAddr, 0, walkCycles
+		}
+		physAddr = res.pa
+		if physAddr+8 > c.phys.Size() {
+			fault = &mem.Fault{VA: effAddr, Level: mem.PTE}
+			return lat, 0, fault, effAddr, 0, walkCycles
+		}
+		if forward != nil {
+			// Store-to-load forwarding: data comes from the store buffer
+			// at L1-hit cost, without touching the cache hierarchy.
+			lat += c.cfg.Hierarchy.L1D.Latency
+			result = forward.Src[1].Value
+			if in.Op == isa.OpLoad32 {
+				result = uint64(uint32(result))
+			}
+			break
+		}
+		if c.cfg.InvisibleSpeculation {
+			// InvisiSpec-style: the speculative load reads around the
+			// cache without filling it; the fill happens at commit.
+			plat, _ := c.hier.Probe(physAddr)
+			lat += plat
+		} else {
+			lat += c.dataAccess(physAddr)
+		}
+		if in.Op == isa.OpLoad32 {
+			result = uint64(c.phys.Read32(physAddr))
+		} else {
+			result = c.phys.Read64(physAddr)
+		}
+	case isa.OpStore, isa.OpStore32, isa.OpStoreF:
+		effAddr = a + uint64(in.Imm)
+		res := c.translate(ctx, effAddr, true)
+		lat, walkCycles = res.latency, res.walkCycles
+		if res.fault != nil {
+			fault = res.fault
+			return lat, 0, fault, effAddr, 0, walkCycles
+		}
+		physAddr = res.pa
+		if physAddr+8 > c.phys.Size() {
+			fault = &mem.Fault{VA: effAddr, Level: mem.PTE, Write: true}
+		}
+	default:
+		panic(fmt.Sprintf("cpu: execute: unhandled op %s", in.Op))
+	}
+	if lat <= 0 {
+		lat = 1
+	}
+	lat += c.jitter()
+	return lat, result, fault, effAddr, physAddr, walkCycles
+}
+
+func isSubnormal(f float64) bool {
+	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return false
+	}
+	return math.Abs(f) < 2.2250738585072014e-308 // smallest normal float64
+}
+
+// ---------------------------------------------------------------------
+// Fetch/dispatch stage
+// ---------------------------------------------------------------------
+
+func (c *Core) fetch() {
+	for _, ctx := range c.contexts {
+		if ctx.halted || ctx.fetchHalted || ctx.prog == nil || ctx.Stalled(c.cycle) {
+			continue
+		}
+		for n := 0; n < c.cfg.FetchWidth; n++ {
+			if ctx.rob.Full() || ctx.nFences > 0 {
+				break
+			}
+			if ctx.serialize && ctx.rob.Len() > 0 {
+				break // post-flush fence: one instruction at a time
+			}
+			if ctx.fetchPC < 0 || ctx.fetchPC >= ctx.prog.Len() {
+				ctx.fetchHalted = true
+				break
+			}
+			in := ctx.prog.At(ctx.fetchPC)
+			e := c.dispatch(ctx, in, ctx.fetchPC)
+
+			switch {
+			case in.Op == isa.OpHalt:
+				ctx.fetchHalted = true
+				n = c.cfg.FetchWidth
+			case in.Op == isa.OpJmp:
+				e.PredictedPC = in.Target
+				ctx.fetchPC = in.Target
+			case in.Op.IsCondBranch():
+				// Branches carry their target, so only the direction is
+				// predicted (no BTB dependence for direct branches).
+				taken := ctx.bp.PredictDirection(e.PC)
+				if taken {
+					e.PredictedPC = in.Target
+				} else {
+					e.PredictedPC = e.PC + 1
+				}
+				e.PredictedTaken = taken
+				ctx.fetchPC = e.PredictedPC
+			default:
+				ctx.fetchPC++
+			}
+		}
+	}
+}
+
+// dispatch creates and enqueues a ROB entry for in at pc.
+func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
+	c.seq++
+	e := &pipeline.Entry{
+		Seq:     c.seq,
+		PC:      pc,
+		Instr:   in,
+		State:   pipeline.StateDispatched,
+		Context: ctx.id,
+	}
+	srcs := in.Sources()
+	for i, r := range srcs {
+		if r == isa.NoReg {
+			e.Src[i] = pipeline.Operand{Ready: true}
+			continue
+		}
+		if prod := ctx.rat[r]; prod != nil {
+			e.Src[i] = pipeline.Operand{Producer: prod}
+		} else {
+			e.Src[i] = pipeline.Operand{Ready: true, Value: ctx.regs[r]}
+		}
+	}
+	if d := in.Dest(); d != isa.NoReg {
+		ctx.rat[d] = e
+	}
+	ctx.rob.Push(e)
+	ctx.nDispatched++
+	if ctx.isFenceActing(in.Op) {
+		ctx.nFences++
+	}
+	ctx.stats.Fetched++
+	c.trace(Event{Context: ctx.id, Kind: EvFetch, PC: pc, Instr: in})
+	return e
+}

@@ -1,0 +1,301 @@
+package cpu
+
+import (
+	"testing"
+
+	"microscope/sim/cache"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Tests for the §7/§8 core features: TSX write-set eviction aborts,
+// precise external preemption, fence-after-flush serialization, and
+// invisible speculation.
+
+func TestEvictLineAbortsTransaction(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := mem.Addr(0x10_0000)
+	r.mapPage(t, va)
+	pa, err := r.as.Translate(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(va)).
+		MovImm(isa.R2, 7).
+		TxBegin("abort").
+		Store(isa.R2, isa.R1, 0). // joins the write set
+		Label("spin").
+		AddImm(isa.R3, isa.R3, 1).
+		Jmp("spin").
+		Label("abort").
+		MovImm(isa.R4, 99).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	// Run until the store has committed inside the transaction.
+	r.core.RunUntil(func() bool {
+		v, _ := r.as.Read64Virt(va)
+		return ctx.InTx() && v == 7
+	}, 1_000_000)
+	if !ctx.InTx() {
+		t.Fatal("transaction never started")
+	}
+
+	// Evicting an unrelated line must NOT abort.
+	if r.core.EvictLine(pa + 512) {
+		t.Fatal("eviction of non-write-set line aborted the transaction")
+	}
+	if !ctx.InTx() {
+		t.Fatal("transaction gone after unrelated eviction")
+	}
+	// Evicting the written line must abort.
+	if !r.core.EvictLine(pa) {
+		t.Fatal("write-set eviction did not abort")
+	}
+	r.core.Run(100_000)
+	if !ctx.Halted() || ctx.Reg(isa.R4) != 99 {
+		t.Error("abort handler did not run after write-set eviction")
+	}
+}
+
+func TestEvictLineOutsideTxIsJustAFlush(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	va := mem.Addr(0x10_0000)
+	r.mapPage(t, va)
+	pa, _ := r.as.Translate(va)
+	r.core.Hierarchy().Access(pa)
+	if r.core.EvictLine(pa) {
+		t.Error("EvictLine aborted with no transaction")
+	}
+	if r.core.Hierarchy().LevelOf(pa) != cache.LevelMem {
+		t.Error("EvictLine did not flush the line")
+	}
+}
+
+func TestPreemptPreservesArchitecture(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, 1000).
+		MovImm(isa.R2, 0).
+		Label("loop").
+		AddImm(isa.R2, isa.R2, 5).
+		AddImm(isa.R1, isa.R1, -1).
+		Bne(isa.R1, isa.R0, "loop").
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	// Preempt aggressively throughout the run.
+	preempts := 0
+	for i := 0; i < 5_000_000 && !ctx.Halted(); i++ {
+		r.core.Step()
+		if i%97 == 0 && !ctx.Halted() {
+			r.core.Preempt(0, 10)
+			preempts++
+		}
+	}
+	if !ctx.Halted() {
+		t.Fatal("preempted program never finished")
+	}
+	if got := ctx.Reg(isa.R2); got != 5000 {
+		t.Errorf("r2 = %d, want 5000 despite %d preemptions", got, preempts)
+	}
+	if preempts == 0 {
+		t.Fatal("no preemptions delivered")
+	}
+}
+
+func TestPreemptEmptyROBIsSafe(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	// No program loaded: preempting must not panic.
+	r.core.Preempt(0, 5)
+	r.core.Step()
+}
+
+func TestFenceAfterFlushShrinksWindow(t *testing.T) {
+	for _, fenced := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.FenceAfterFlush = fenced
+		r := newRig(t, cfg)
+		handleVA := mem.Addr(0x40_0000)
+		secretVA := mem.Addr(0x50_0000)
+		r.mapPage(t, handleVA)
+		r.mapPage(t, secretVA)
+		if _, err := r.as.SetPresent(handleVA, false); err != nil {
+			t.Fatal(err)
+		}
+		secretPA, _ := r.as.Translate(secretVA)
+
+		faults := 0
+		leaksAfterFirst := 0
+		r.core.SetFaultHandler(FaultHandlerFunc(func(f PageFault) FaultOutcome {
+			faults++
+			if faults > 1 && r.core.Hierarchy().LevelOf(secretPA) != cache.LevelMem {
+				leaksAfterFirst++
+			}
+			r.core.Hierarchy().FlushAddr(secretPA)
+			if faults >= 4 {
+				if _, err := r.as.SetPresent(handleVA, true); err != nil {
+					panic(err)
+				}
+			}
+			return FaultOutcome{HandlerLatency: 100}
+		}))
+		prog := isa.NewBuilder().
+			MovImm(isa.R1, int64(handleVA)).
+			MovImm(isa.R2, int64(secretVA)).
+			Load(isa.R3, isa.R1, 0). // handle
+			Load(isa.R4, isa.R2, 0). // transmit
+			Halt().MustBuild()
+		r.core.Context(0).SetProgram(prog, 0)
+		r.core.Run(5_000_000)
+		if !r.core.Context(0).Halted() {
+			t.Fatal("victim did not finish")
+		}
+		if fenced && leaksAfterFirst != 0 {
+			t.Errorf("fenced: %d replay windows leaked", leaksAfterFirst)
+		}
+		if !fenced && leaksAfterFirst == 0 {
+			t.Error("unfenced: replay windows never leaked")
+		}
+	}
+}
+
+func TestInvisibleSpeculationDefersFill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InvisibleSpeculation = true
+	r := newRig(t, cfg)
+	va := mem.Addr(0x10_0000)
+	r.mapPage(t, va)
+	if err := r.as.Write64Virt(va, 123); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := r.as.Translate(va)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(va)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if ctx.Reg(isa.R2) != 123 {
+		t.Errorf("load value %d under invisible speculation", ctx.Reg(isa.R2))
+	}
+	// The RETIRED load must have filled the cache (deferred fill).
+	if r.core.Hierarchy().LevelOf(pa) == cache.LevelMem {
+		t.Error("retired load left no cache footprint")
+	}
+}
+
+func TestInvisibleSpeculationHidesTransients(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InvisibleSpeculation = true
+	r := newRig(t, cfg)
+	wrongVA := mem.Addr(0x60_0000)
+	r.mapPage(t, wrongVA)
+	wrongPA, _ := r.as.Translate(wrongVA)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, 1).
+		MovImm(isa.R2, int64(wrongVA)).
+		Beq(isa.R1, isa.R0, "wrong"). // never taken
+		MovImm(isa.R3, 7).
+		Jmp("done").
+		Label("wrong").
+		Load(isa.R4, isa.R2, 0). // transient load
+		Label("done").
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.Predictor().Prime(2, true, 5) // mispredict toward the load
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() || ctx.Reg(isa.R3) != 7 {
+		t.Fatal("program wrong")
+	}
+	if r.core.Hierarchy().LevelOf(wrongPA) != cache.LevelMem {
+		t.Error("transient load filled the cache despite invisible speculation")
+	}
+}
+
+// Back-to-back faulting instructions: two armed pages accessed in
+// sequence deliver two precise faults in program order.
+func TestSequentialFaultsDeliveredInOrder(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	vaA := mem.Addr(0x40_0000)
+	vaB := mem.Addr(0x50_0000)
+	r.mapPage(t, vaA)
+	r.mapPage(t, vaB)
+	for _, va := range []mem.Addr{vaA, vaB} {
+		if _, err := r.as.SetPresent(va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []mem.Addr
+	r.core.SetFaultHandler(FaultHandlerFunc(func(f PageFault) FaultOutcome {
+		order = append(order, mem.PageBase(f.VA))
+		if _, err := r.as.SetPresent(f.VA, true); err != nil {
+			panic(err)
+		}
+		return FaultOutcome{HandlerLatency: 50}
+	}))
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(vaA)).
+		MovImm(isa.R2, int64(vaB)).
+		Load(isa.R3, isa.R1, 0).
+		Load(isa.R4, isa.R2, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("did not halt")
+	}
+	if len(order) != 2 || order[0] != vaA || order[1] != vaB {
+		t.Errorf("fault order = %v", order)
+	}
+}
+
+// A fence inside a replay window still serializes when the window is
+// re-executed (fence state resets across squashes).
+func TestFenceStateSurvivesSquash(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	handleVA := mem.Addr(0x40_0000)
+	secretVA := mem.Addr(0x50_0000)
+	r.mapPage(t, handleVA)
+	r.mapPage(t, secretVA)
+	if _, err := r.as.SetPresent(handleVA, false); err != nil {
+		t.Fatal(err)
+	}
+	secretPA, _ := r.as.Translate(secretVA)
+	faults := 0
+	r.core.SetFaultHandler(FaultHandlerFunc(func(f PageFault) FaultOutcome {
+		faults++
+		if faults >= 3 {
+			if _, err := r.as.SetPresent(handleVA, true); err != nil {
+				panic(err)
+			}
+		}
+		return FaultOutcome{HandlerLatency: 100}
+	}))
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(handleVA)).
+		MovImm(isa.R2, int64(secretVA)).
+		Load(isa.R3, isa.R1, 0). // handle (replayed twice)
+		Fence().
+		Load(isa.R4, isa.R2, 0). // must never execute before release
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	// Run until just before release: the fence must have held in every
+	// replayed window.
+	r.core.RunUntil(func() bool { return faults >= 2 }, 1_000_000)
+	if lvl := r.core.Hierarchy().LevelOf(secretPA); lvl != cache.LevelMem {
+		t.Errorf("fenced load executed in a replay window (footprint at %s)", lvl)
+	}
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("victim did not finish")
+	}
+}

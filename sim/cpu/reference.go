@@ -1,0 +1,194 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Reference is a trivial sequential interpreter for the ISA with the same
+// architectural semantics as the out-of-order core but none of its
+// microarchitecture. It exists for differential testing: any terminating
+// program without faults must leave identical architectural state on both
+// engines.
+type Reference struct {
+	as    *mem.AddressSpace
+	regs  [isa.NumRegs]uint64
+	pc    int
+	prog  *isa.Program
+	rng   uint64
+	steps uint64
+
+	inTx       bool
+	checkpoint [isa.NumRegs]uint64
+	abortPC    int
+	txAborts   uint64
+}
+
+// NewReference returns an interpreter over the address space.
+func NewReference(as *mem.AddressSpace, randSeed uint64) *Reference {
+	return &Reference{as: as, rng: randSeed | 1}
+}
+
+// Reg returns the architectural value of r.
+func (r *Reference) Reg(reg isa.Reg) uint64 { return r.regs[reg] }
+
+// SetReg sets a register.
+func (r *Reference) SetReg(reg isa.Reg, v uint64) { r.regs[reg] = v }
+
+// Steps returns the number of executed instructions.
+func (r *Reference) Steps() uint64 { return r.steps }
+
+// Run executes the program from entry until halt, program end, or the
+// step budget is exhausted. It returns an error on a page fault (the
+// reference engine models no OS) or budget exhaustion.
+func (r *Reference) Run(p *isa.Program, entry int, maxSteps uint64) error {
+	r.prog = p
+	r.pc = entry
+	for r.steps = 0; r.steps < maxSteps; r.steps++ {
+		if r.pc < 0 || r.pc >= p.Len() {
+			return nil
+		}
+		in := p.At(r.pc)
+		next := r.pc + 1
+		a, b := r.regs[in.Rs1], r.regs[in.Rs2]
+		switch in.Op {
+		case isa.OpNop, isa.OpFence:
+		case isa.OpHalt:
+			return nil
+		case isa.OpMovImm, isa.OpFLoadImm:
+			r.regs[in.Rd] = uint64(in.Imm)
+		case isa.OpMov, isa.OpFMov:
+			r.regs[in.Rd] = a
+		case isa.OpAdd:
+			r.regs[in.Rd] = a + b
+		case isa.OpAddImm:
+			r.regs[in.Rd] = a + uint64(in.Imm)
+		case isa.OpSub:
+			r.regs[in.Rd] = a - b
+		case isa.OpAnd:
+			r.regs[in.Rd] = a & b
+		case isa.OpAndImm:
+			r.regs[in.Rd] = a & uint64(in.Imm)
+		case isa.OpOr:
+			r.regs[in.Rd] = a | b
+		case isa.OpXor:
+			r.regs[in.Rd] = a ^ b
+		case isa.OpShl:
+			r.regs[in.Rd] = a << (b & 63)
+		case isa.OpShlImm:
+			r.regs[in.Rd] = a << (uint64(in.Imm) & 63)
+		case isa.OpShr:
+			r.regs[in.Rd] = a >> (b & 63)
+		case isa.OpShrImm:
+			r.regs[in.Rd] = a >> (uint64(in.Imm) & 63)
+		case isa.OpMul:
+			r.regs[in.Rd] = a * b
+		case isa.OpDiv:
+			if b != 0 {
+				r.regs[in.Rd] = a / b
+			} else {
+				r.regs[in.Rd] = 0
+			}
+		case isa.OpFAdd:
+			r.regs[in.Rd] = math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+		case isa.OpFMul:
+			r.regs[in.Rd] = math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+		case isa.OpFDiv:
+			r.regs[in.Rd] = math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+		case isa.OpLoad, isa.OpLoadF:
+			v, err := r.load(a+uint64(in.Imm), 8)
+			if err != nil {
+				return err
+			}
+			r.regs[in.Rd] = v
+		case isa.OpLoad32:
+			v, err := r.load(a+uint64(in.Imm), 4)
+			if err != nil {
+				return err
+			}
+			r.regs[in.Rd] = v
+		case isa.OpStore, isa.OpStoreF:
+			if err := r.store(a+uint64(in.Imm), b, 8); err != nil {
+				return err
+			}
+		case isa.OpStore32:
+			if err := r.store(a+uint64(in.Imm), b, 4); err != nil {
+				return err
+			}
+		case isa.OpBeq:
+			if a == b {
+				next = in.Target
+			}
+		case isa.OpBne:
+			if a != b {
+				next = in.Target
+			}
+		case isa.OpBlt:
+			if int64(a) < int64(b) {
+				next = in.Target
+			}
+		case isa.OpBge:
+			if int64(a) >= int64(b) {
+				next = in.Target
+			}
+		case isa.OpJmp:
+			next = in.Target
+		case isa.OpRdtsc:
+			// The reference engine has no cycle clock; expose the step
+			// count so deltas are still monotone.
+			r.regs[in.Rd] = r.steps
+		case isa.OpRdrand:
+			x := r.rng
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			r.rng = x
+			r.regs[in.Rd] = x * 0x2545F4914F6CDD1D
+		case isa.OpTxBegin:
+			r.inTx = true
+			r.checkpoint = r.regs
+			r.abortPC = in.Target
+		case isa.OpTxEnd:
+			r.inTx = false
+		case isa.OpTxAbort:
+			if r.inTx {
+				r.txAborts++
+				r.regs = r.checkpoint
+				r.regs[AbortReg] = r.txAborts
+				r.inTx = false
+				next = r.abortPC
+			}
+		default:
+			return fmt.Errorf("cpu: reference: unhandled op %s", in.Op)
+		}
+		r.pc = next
+	}
+	return fmt.Errorf("cpu: reference: step budget exhausted at pc=%d", r.pc)
+}
+
+func (r *Reference) load(va mem.Addr, size int) (uint64, error) {
+	pa, err := r.as.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	if size == 4 {
+		return uint64(r.as.Phys().Read32(pa)), nil
+	}
+	return r.as.Phys().Read64(pa), nil
+}
+
+func (r *Reference) store(va mem.Addr, v uint64, size int) error {
+	pa, err := r.as.Translate(va)
+	if err != nil {
+		return err
+	}
+	if size == 4 {
+		r.as.Phys().Write32(pa, uint32(v))
+	} else {
+		r.as.Phys().Write64(pa, v)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package enclave implements the SGX-style trusted execution environment
+// the paper attacks: enclave memory regions whose frames are tracked by an
+// EPCM-like ownership map, asynchronous exits (AEX) that reveal only the
+// faulting VPN to the OS, attestation via measurement, and the
+// branch-predictor flush at the enclave boundary that MicroScope
+// side-steps (§2.3, §3).
+//
+// The enclave contract MicroScope needs is deliberately small: the OS
+// manages translations (and so can clear present bits), sees faulting
+// VPNs, and cannot read enclave data. All three properties are modelled
+// here.
+package enclave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+// ErrEPCAccessDenied is returned when supervisor software tries to read or
+// write enclave-private memory.
+var ErrEPCAccessDenied = errors.New("enclave: EPC access denied to supervisor")
+
+// AEX records one asynchronous enclave exit. Only the VPN is exposed —
+// the page-fault information SGX architecturally reveals to the OS.
+type AEX struct {
+	VPN   uint64
+	Write bool
+	Cycle uint64
+}
+
+// Enclave is one SGX-style enclave within a host process.
+type Enclave struct {
+	ID   int
+	proc *kernel.Process
+	base mem.Addr
+	size uint64
+
+	prog        *isa.Program
+	measurement [sha256.Size]byte
+
+	aexLog  []AEX
+	entered bool
+}
+
+// Base returns the enclave's base virtual address.
+func (e *Enclave) Base() mem.Addr { return e.base }
+
+// Size returns the enclave region size in bytes.
+func (e *Enclave) Size() uint64 { return e.size }
+
+// Contains reports whether va lies in the enclave's private region.
+func (e *Enclave) Contains(va mem.Addr) bool {
+	return va >= e.base && va < e.base+e.size
+}
+
+// Program returns the enclave's code.
+func (e *Enclave) Program() *isa.Program { return e.prog }
+
+// Measurement returns the enclave's attestation measurement (MRENCLAVE
+// analogue): a SHA-256 over the code and the initial contents of the
+// private region.
+func (e *Enclave) Measurement() [sha256.Size]byte { return e.measurement }
+
+// AEXLog returns the asynchronous exits observed so far.
+func (e *Enclave) AEXLog() []AEX { return append([]AEX(nil), e.aexLog...) }
+
+// Entered reports whether a hardware context is executing the enclave.
+func (e *Enclave) Entered() bool { return e.entered }
+
+// Manager tracks EPC ownership (the EPCM analogue) and builds enclaves.
+type Manager struct {
+	k      *kernel.Kernel
+	core   *cpu.Core
+	nextID int
+	// epcm maps physical frame number -> owning enclave ID.
+	epcm     map[uint64]int
+	enclaves map[int]*Enclave
+}
+
+// NewManager returns a manager bound to the kernel and core.
+func NewManager(k *kernel.Kernel, core *cpu.Core) *Manager {
+	m := &Manager{
+		k:        k,
+		core:     core,
+		nextID:   1,
+		epcm:     make(map[uint64]int),
+		enclaves: make(map[int]*Enclave),
+	}
+	k.RegisterHook(aexObserver{m})
+	return m
+}
+
+// aexObserver records AEX events for enclave faults without handling them
+// (the OS still services the fault, per SGX demand paging).
+type aexObserver struct{ m *Manager }
+
+func (o aexObserver) HandleFault(proc *kernel.Process, f cpu.PageFault) (cpu.FaultOutcome, bool) {
+	for _, e := range o.m.enclaves {
+		// Any fault taken while the enclave executes is an AEX — SGX
+		// exposes the VPN to the OS for both private enclave pages and
+		// insecure user-level pages (§2.3).
+		if e.proc == proc && (e.entered || e.Contains(f.VA)) {
+			e.aexLog = append(e.aexLog, AEX{
+				VPN:   mem.PageNum(f.VA),
+				Write: f.Write,
+				Cycle: o.m.core.Cycle(),
+			})
+		}
+	}
+	return cpu.FaultOutcome{}, false
+}
+
+// Create builds an enclave of size bytes at base inside proc, loads prog
+// as its code, writes initData at the region start, computes the
+// measurement, and marks every frame enclave-owned. Pages are mapped
+// eagerly (EADD semantics); the OS may later evict/unmap them, which is
+// the demand-paging surface MicroScope uses.
+func (m *Manager) Create(proc *kernel.Process, base mem.Addr, size uint64, prog *isa.Program, initData []byte) (*Enclave, error) {
+	if size == 0 || size%mem.PageSize != 0 || mem.PageOffset(base) != 0 {
+		return nil, fmt.Errorf("enclave: region %#x+%#x not page aligned", base, size)
+	}
+	if uint64(len(initData)) > size {
+		return nil, fmt.Errorf("enclave: init data (%d bytes) exceeds region", len(initData))
+	}
+	e := &Enclave{
+		ID:   m.nextID,
+		proc: proc,
+		base: base,
+		size: size,
+		prog: prog,
+	}
+	m.nextID++
+
+	v := m.k.AddVMA(proc, base, base+size,
+		mem.FlagUser|mem.FlagWritable|mem.FlagEnclave, fmt.Sprintf("enclave%d", e.ID))
+	if err := m.k.MapEager(proc, v); err != nil {
+		return nil, err
+	}
+	if len(initData) > 0 {
+		if err := proc.AddressSpace().WriteVirt(base, initData); err != nil {
+			return nil, err
+		}
+	}
+	// Record EPC ownership for every frame of the region.
+	for va := base; va < base+size; va += mem.PageSize {
+		pa, err := proc.AddressSpace().Translate(va)
+		if err != nil {
+			return nil, err
+		}
+		m.epcm[mem.PageNum(pa)] = e.ID
+	}
+	e.measurement = measure(prog, initData)
+	proc.EnclaveID = e.ID
+	m.enclaves[e.ID] = e
+	return e, nil
+}
+
+// measure computes the MRENCLAVE-style hash over code and initial data.
+func measure(prog *isa.Program, initData []byte) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	for _, in := range prog.Instrs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(in.Op))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:],
+			uint64(in.Rd)|uint64(in.Rs1)<<8|uint64(in.Rs2)<<16)
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(in.Imm))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(in.Target))
+		h.Write(buf[:])
+	}
+	h.Write(initData)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Attest verifies the enclave against an expected measurement (remote
+// attestation stub).
+func (m *Manager) Attest(e *Enclave, expected [sha256.Size]byte) bool {
+	return e.measurement == expected
+}
+
+// Enter starts enclave execution on the given context at the program
+// entry index. It flushes the context's branch predictor — the
+// countermeasure from [12] that MicroScope's §4.2.3 analysis renders
+// moot (a flushed predictor is a *known* predictor).
+func (m *Manager) Enter(e *Enclave, ctxID int, entry int) error {
+	proc, ok := m.k.Running(ctxID)
+	if !ok || proc != e.proc {
+		return fmt.Errorf("enclave: process not scheduled on context %d", ctxID)
+	}
+	ctx := m.core.Context(ctxID)
+	ctx.Predictor().Flush()
+	ctx.SetProgram(e.prog, entry)
+	e.entered = true
+	return nil
+}
+
+// Exit marks the enclave as exited (EEXIT).
+func (m *Manager) Exit(e *Enclave) { e.entered = false }
+
+// OwnerOf returns the enclave ID owning the physical frame, or 0.
+func (m *Manager) OwnerOf(ppn uint64) int { return m.epcm[ppn] }
+
+// OSRead models supervisor software attempting to read process memory:
+// it succeeds for ordinary pages and fails with ErrEPCAccessDenied for
+// enclave-owned frames, enforcing SGX's confidentiality guarantee.
+func (m *Manager) OSRead(proc *kernel.Process, va mem.Addr, n uint64) ([]byte, error) {
+	pa, err := proc.AddressSpace().Translate(va)
+	if err != nil {
+		return nil, err
+	}
+	if m.epcm[mem.PageNum(pa)] != 0 {
+		return nil, ErrEPCAccessDenied
+	}
+	return m.k.Phys().ReadBytes(pa, n), nil
+}
+
+// OSWrite models supervisor software attempting to write process memory,
+// refused for enclave frames (integrity guarantee).
+func (m *Manager) OSWrite(proc *kernel.Process, va mem.Addr, b []byte) error {
+	pa, err := proc.AddressSpace().Translate(va)
+	if err != nil {
+		return err
+	}
+	if m.epcm[mem.PageNum(pa)] != 0 {
+		return ErrEPCAccessDenied
+	}
+	m.k.Phys().WriteBytes(pa, b)
+	return nil
+}

@@ -1,0 +1,240 @@
+package enclave
+
+import (
+	"errors"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+type rig struct {
+	k    *kernel.Kernel
+	core *cpu.Core
+	m    *Manager
+	proc *kernel.Process
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	phys := mem.NewPhysMem(32 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	m := NewManager(k, core)
+	proc, err := k.NewProcess("host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(0, proc)
+	return &rig{k: k, core: core, m: m, proc: proc}
+}
+
+func simpleProg() *isa.Program {
+	return isa.NewBuilder().
+		MovImm(isa.R1, 5).
+		AddImm(isa.R1, isa.R1, 2).
+		Halt().MustBuild()
+}
+
+func TestCreateAndRun(t *testing.T) {
+	r := newRig(t)
+	base := mem.Addr(0x100_0000)
+	secret := []byte{0xde, 0xad, 0xbe, 0xef}
+	e, err := r.m.Create(r.proc, base, 4*mem.PageSize, simpleProg(), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Enter(e, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.core.Run(100_000)
+	ctx := r.core.Context(0)
+	if !ctx.Halted() {
+		t.Fatal("enclave program did not halt")
+	}
+	if ctx.Reg(isa.R1) != 7 {
+		t.Errorf("r1 = %d, want 7", ctx.Reg(isa.R1))
+	}
+	r.m.Exit(e)
+	if e.Entered() {
+		t.Error("still entered after Exit")
+	}
+}
+
+func TestCreateRejectsUnaligned(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.m.Create(r.proc, 0x100_0100, mem.PageSize, simpleProg(), nil); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := r.m.Create(r.proc, 0x100_0000, 100, simpleProg(), nil); err == nil {
+		t.Error("unaligned size accepted")
+	}
+	if _, err := r.m.Create(r.proc, 0x100_0000, mem.PageSize,
+		simpleProg(), make([]byte, 2*mem.PageSize)); err == nil {
+		t.Error("oversized init data accepted")
+	}
+}
+
+func TestOSCannotReadEnclaveMemory(t *testing.T) {
+	r := newRig(t)
+	base := mem.Addr(0x100_0000)
+	secret := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	e, err := r.m.Create(r.proc, base, mem.PageSize, simpleProg(), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e
+	if _, err := r.m.OSRead(r.proc, base, 8); !errors.Is(err, ErrEPCAccessDenied) {
+		t.Errorf("OSRead of enclave page: err = %v, want EPC denial", err)
+	}
+	if err := r.m.OSWrite(r.proc, base, []byte{9}); !errors.Is(err, ErrEPCAccessDenied) {
+		t.Errorf("OSWrite of enclave page: err = %v, want EPC denial", err)
+	}
+
+	// Ordinary pages remain readable by the OS.
+	v := r.k.AddVMA(r.proc, 0x200_0000, 0x200_0000+mem.PageSize,
+		mem.FlagUser|mem.FlagWritable, "plain")
+	if err := r.k.MapEager(r.proc, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.OSWrite(r.proc, 0x200_0000, []byte{42}); err != nil {
+		t.Errorf("OSWrite of plain page failed: %v", err)
+	}
+	got, err := r.m.OSRead(r.proc, 0x200_0000, 1)
+	if err != nil || got[0] != 42 {
+		t.Errorf("OSRead of plain page = %v, %v", got, err)
+	}
+}
+
+// TestOSControlsEnclaveTranslations is the heart of the threat model: the
+// OS cannot read enclave data, but it CAN manipulate the enclave's page
+// tables — clear present bits, observe the faulting VPN via AEX, and make
+// the enclave replay.
+func TestOSControlsEnclaveTranslations(t *testing.T) {
+	r := newRig(t)
+	base := mem.Addr(0x100_0000)
+	dataVA := base + mem.PageSize // second enclave page holds data
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(dataVA)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+
+	init := make([]byte, mem.PageSize+8)
+	init[mem.PageSize] = 0x77 // first byte of the data word
+	e, err := r.m.Create(r.proc, base, 2*mem.PageSize, prog, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// OS clears the present bit on the enclave data page.
+	if _, err := r.proc.AddressSpace().SetPresent(dataVA, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Invlpg(r.proc, dataVA)
+
+	if err := r.m.Enter(e, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.core.Run(1_000_000)
+	ctx := r.core.Context(0)
+	if !ctx.Halted() {
+		t.Fatal("enclave did not complete")
+	}
+	if ctx.Reg(isa.R2) != 0x77 {
+		t.Errorf("enclave read %#x, want 0x77 (fault must be serviced transparently)", ctx.Reg(isa.R2))
+	}
+	// AEX recorded, exposing only the VPN.
+	log := e.AEXLog()
+	if len(log) != 1 {
+		t.Fatalf("AEX log has %d entries, want 1", len(log))
+	}
+	if log[0].VPN != mem.PageNum(dataVA) {
+		t.Errorf("AEX VPN = %#x, want %#x", log[0].VPN, mem.PageNum(dataVA))
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	r := newRig(t)
+	e1, err := r.m.Create(r.proc, 0x100_0000, mem.PageSize, simpleProg(), []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.m.Attest(e1, e1.Measurement()) {
+		t.Error("self-attestation failed")
+	}
+	// Different code or data must change the measurement.
+	e2, err := r.m.Create(r.proc, 0x200_0000, mem.PageSize, simpleProg(), []byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Measurement() == e2.Measurement() {
+		t.Error("different init data, same measurement")
+	}
+	otherProg := isa.NewBuilder().MovImm(isa.R1, 6).Halt().MustBuild()
+	e3, err := r.m.Create(r.proc, 0x300_0000, mem.PageSize, otherProg, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Measurement() == e3.Measurement() {
+		t.Error("different code, same measurement")
+	}
+}
+
+func TestEnterFlushesBranchPredictor(t *testing.T) {
+	r := newRig(t)
+	e, err := r.m.Create(r.proc, 0x100_0000, mem.PageSize, simpleProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := r.core.Context(0)
+	ctx.Predictor().Prime(1, true, 0)
+	if !ctx.Predictor().PredictDirection(1) {
+		t.Fatal("priming failed")
+	}
+	if err := r.m.Enter(e, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Predictor().PredictDirection(1) {
+		t.Error("predictor state survived enclave entry")
+	}
+}
+
+func TestEnterRequiresScheduledProcess(t *testing.T) {
+	r := newRig(t)
+	e, err := r.m.Create(r.proc, 0x100_0000, mem.PageSize, simpleProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := r.k.NewProcess("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, other)
+	if err := r.m.Enter(e, 0, 0); err == nil {
+		t.Error("Enter succeeded with wrong process scheduled")
+	}
+}
+
+func TestEPCOwnership(t *testing.T) {
+	r := newRig(t)
+	base := mem.Addr(0x100_0000)
+	e, err := r.m.Create(r.proc, base, 2*mem.PageSize, simpleProg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for va := base; va < base+2*mem.PageSize; va += mem.PageSize {
+		pa, err := r.proc.AddressSpace().Translate(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.m.OwnerOf(mem.PageNum(pa)) != e.ID {
+			t.Errorf("frame %#x not owned by enclave %d", mem.PageNum(pa), e.ID)
+		}
+	}
+	if r.m.OwnerOf(0) != 0 {
+		t.Error("frame 0 spuriously owned")
+	}
+}

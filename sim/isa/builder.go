@@ -1,0 +1,270 @@
+package isa
+
+import "fmt"
+
+// Builder constructs a Program programmatically with forward-referencing
+// labels. All emit methods return the Builder for chaining. Errors (e.g.
+// duplicate labels) are accumulated and reported by Build, so victim
+// generators can stay free of error plumbing.
+type Builder struct {
+	instrs []Instr
+	labels map[string]int
+	// fixups maps instruction index -> unresolved label name.
+	fixups map[int]string
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// Here returns the index of the next instruction to be emitted.
+func (b *Builder) Here() int { return len(b.instrs) }
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitTo(in Instr, label string) *Builder {
+	in.Label = label
+	if idx, ok := b.labels[label]; ok {
+		in.Target = idx
+	} else {
+		b.fixups[len(b.instrs)] = label
+	}
+	return b.Emit(in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.Emit(Instr{Op: OpNop}) }
+
+// MovImm emits rd <- imm.
+func (b *Builder) MovImm(rd Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpMovImm, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd <- rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder {
+	return b.Emit(Instr{Op: OpMov, Rd: rd, Rs1: rs})
+}
+
+// Add emits rd <- rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AddImm emits rd <- rs1 + imm.
+func (b *Builder) AddImm(rd, rs1 Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpAddImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sub emits rd <- rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd <- rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// AndImm emits rd <- rs1 & imm.
+func (b *Builder) AndImm(rd, rs1 Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpAndImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Or emits rd <- rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd <- rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Shl emits rd <- rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpShl, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ShlImm emits rd <- rs1 << imm.
+func (b *Builder) ShlImm(rd, rs1 Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpShlImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Shr emits rd <- rs1 >> rs2 (logical).
+func (b *Builder) Shr(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpShr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// ShrImm emits rd <- rs1 >> imm (logical).
+func (b *Builder) ShrImm(rd, rs1 Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpShrImm, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Mul emits rd <- rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd <- rs1 / rs2 (integer; division by zero yields zero).
+func (b *Builder) Div(rd, rs1, rs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FMov emits fd <- fs.
+func (b *Builder) FMov(fd, fs Reg) *Builder {
+	return b.Emit(Instr{Op: OpFMov, Rd: fd, Rs1: fs})
+}
+
+// FAdd emits fd <- fs1 + fs2.
+func (b *Builder) FAdd(fd, fs1, fs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpFAdd, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// FMul emits fd <- fs1 * fs2.
+func (b *Builder) FMul(fd, fs1, fs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpFMul, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// FDiv emits fd <- fs1 / fs2.
+func (b *Builder) FDiv(fd, fs1, fs2 Reg) *Builder {
+	return b.Emit(Instr{Op: OpFDiv, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// FLoadImm emits fd <- the float64 whose IEEE-754 bits are imm.
+func (b *Builder) FLoadImm(fd Reg, bits int64) *Builder {
+	return b.Emit(Instr{Op: OpFLoadImm, Rd: fd, Imm: bits})
+}
+
+// Load emits rd <- mem64[rs1 + imm].
+func (b *Builder) Load(rd, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpLoad, Rd: rd, Rs1: base, Imm: imm})
+}
+
+// Load32 emits rd <- zero-extended mem32[rs1 + imm].
+func (b *Builder) Load32(rd, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpLoad32, Rd: rd, Rs1: base, Imm: imm})
+}
+
+// LoadF emits fd <- mem64[rs1 + imm] interpreted as float64 bits.
+func (b *Builder) LoadF(fd, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpLoadF, Rd: fd, Rs1: base, Imm: imm})
+}
+
+// Store emits mem64[base + imm] <- rs.
+func (b *Builder) Store(rs, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpStore, Rs2: rs, Rs1: base, Imm: imm})
+}
+
+// Store32 emits mem32[base + imm] <- low 32 bits of rs.
+func (b *Builder) Store32(rs, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpStore32, Rs2: rs, Rs1: base, Imm: imm})
+}
+
+// StoreF emits mem64[base + imm] <- float bits of fs.
+func (b *Builder) StoreF(fs, base Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpStoreF, Rs2: fs, Rs1: base, Imm: imm})
+}
+
+// Beq emits a branch to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 Reg, label string) *Builder {
+	return b.emitTo(Instr{Op: OpBeq, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne emits a branch to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 Reg, label string) *Builder {
+	return b.emitTo(Instr{Op: OpBne, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Blt emits a branch to label when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 Reg, label string) *Builder {
+	return b.emitTo(Instr{Op: OpBlt, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bge emits a branch to label when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 Reg, label string) *Builder {
+	return b.emitTo(Instr{Op: OpBge, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitTo(Instr{Op: OpJmp}, label)
+}
+
+// Rdtsc emits rd <- current core cycle counter.
+func (b *Builder) Rdtsc(rd Reg) *Builder {
+	return b.Emit(Instr{Op: OpRdtsc, Rd: rd})
+}
+
+// Rdrand emits rd <- hardware random value.
+func (b *Builder) Rdrand(rd Reg) *Builder {
+	return b.Emit(Instr{Op: OpRdrand, Rd: rd})
+}
+
+// Fence emits a serializing fence.
+func (b *Builder) Fence() *Builder { return b.Emit(Instr{Op: OpFence}) }
+
+// TxBegin emits a transaction start whose abort handler is at label.
+func (b *Builder) TxBegin(abortLabel string) *Builder {
+	return b.emitTo(Instr{Op: OpTxBegin}, abortLabel)
+}
+
+// TxEnd emits a transaction commit.
+func (b *Builder) TxEnd() *Builder { return b.Emit(Instr{Op: OpTxEnd}) }
+
+// TxAbort emits an explicit transaction abort.
+func (b *Builder) TxAbort() *Builder { return b.Emit(Instr{Op: OpTxAbort}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() *Builder { return b.Emit(Instr{Op: OpHalt}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for idx, name := range b.fixups {
+		target, ok := b.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q at instr %d", name, idx)
+		}
+		b.instrs[idx].Target = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	p := &Program{Instrs: append([]Instr(nil), b.instrs...), Labels: labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for victim generators
+// whose programs are fixed at development time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

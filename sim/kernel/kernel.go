@@ -1,0 +1,314 @@
+// Package kernel implements the simulated operating system: processes
+// with virtual memory areas, demand paging, the page-fault handler, and a
+// trampoline hook chain that kernel modules (MicroScope) use to intercept
+// faults on page-table entries under attack — the execution path of the
+// paper's Figure 9.
+//
+// The kernel is the paper's untrusted supervisor: it legitimately manages
+// translations for every process, including enclave hosts, and that power
+// is exactly what MicroScope abuses.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/sim/cpu"
+	"microscope/sim/mem"
+)
+
+// Config sets the kernel's latency model. The values matter for attack
+// shape: the fault-handler path is much longer than a replay window, so a
+// free-running monitor takes most samples during handler time (§6.1).
+type Config struct {
+	// MinorFaultLatency is the handler cost for present-bit faults.
+	MinorFaultLatency uint64
+	// DemandPageLatency is the handler cost when a fresh frame is
+	// allocated and mapped.
+	DemandPageLatency uint64
+}
+
+// DefaultConfig returns the baseline latency model.
+func DefaultConfig() Config {
+	return Config{
+		MinorFaultLatency: 2_500,
+		DemandPageLatency: 6_000,
+	}
+}
+
+// VMA is one virtual memory area of a process.
+type VMA struct {
+	Start mem.Addr // inclusive, page aligned
+	End   mem.Addr // exclusive, page aligned
+	Flags uint64   // mem.Flag* bits applied to leaf PTEs
+	Name  string
+}
+
+// Contains reports whether va falls inside the area.
+func (v VMA) Contains(va mem.Addr) bool { return va >= v.Start && va < v.End }
+
+// Process is one OS process: an address space plus its VMAs.
+type Process struct {
+	PID  int
+	Name string
+	as   *mem.AddressSpace
+	vmas []VMA
+
+	// EnclaveID is non-zero when the process hosts an enclave
+	// (sim/enclave sets it).
+	EnclaveID int
+}
+
+// AddressSpace returns the process's address space.
+func (p *Process) AddressSpace() *mem.AddressSpace { return p.as }
+
+// VMAs returns the process's memory areas, sorted by start address.
+func (p *Process) VMAs() []VMA { return append([]VMA(nil), p.vmas...) }
+
+// FindVMA returns the VMA containing va.
+func (p *Process) FindVMA(va mem.Addr) (VMA, bool) {
+	for _, v := range p.vmas {
+		if v.Contains(va) {
+			return v, true
+		}
+	}
+	return VMA{}, false
+}
+
+// FaultHook intercepts page faults before default handling — the
+// trampoline step 4 of Figure 9. A hook returns handled=true to supply
+// the outcome itself (the kernel still adds no cost of its own: the hook's
+// outcome is final).
+type FaultHook interface {
+	HandleFault(proc *Process, f cpu.PageFault) (out cpu.FaultOutcome, handled bool)
+}
+
+// FaultRecord logs one delivered fault (diagnostics and the controlled
+// side-channel tests).
+type FaultRecord struct {
+	PID   int
+	VA    mem.Addr
+	VPN   uint64
+	Write bool
+	Cycle uint64
+	Minor bool
+}
+
+// Kernel is the simulated OS.
+type Kernel struct {
+	cfg   Config
+	phys  *mem.PhysMem
+	core  *cpu.Core
+	procs map[int]*Process
+	// running maps SMT context id -> process.
+	running  map[int]*Process
+	hooks    []FaultHook
+	nextPID  int
+	nextPCID uint16
+
+	faultLog []FaultRecord
+
+	// Swap store (see swap.go).
+	swap      map[swapKey][]byte
+	evictions uint64
+	swapIns   uint64
+}
+
+// New boots a kernel over the given physical memory and core.
+func New(cfg Config, phys *mem.PhysMem, core *cpu.Core) *Kernel {
+	k := &Kernel{
+		cfg:      cfg,
+		phys:     phys,
+		core:     core,
+		procs:    make(map[int]*Process),
+		running:  make(map[int]*Process),
+		nextPID:  1,
+		nextPCID: 1,
+	}
+	core.SetFaultHandler(k)
+	return k
+}
+
+// Core returns the core the kernel drives.
+func (k *Kernel) Core() *cpu.Core { return k.core }
+
+// Phys returns physical memory.
+func (k *Kernel) Phys() *mem.PhysMem { return k.phys }
+
+// NewProcess creates a process with a fresh address space.
+func (k *Kernel) NewProcess(name string) (*Process, error) {
+	as, err := mem.NewAddressSpace(k.phys, k.nextPCID)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: creating %s: %w", name, err)
+	}
+	p := &Process{PID: k.nextPID, Name: name, as: as}
+	k.procs[p.PID] = p
+	k.nextPID++
+	k.nextPCID++
+	return p, nil
+}
+
+// Process returns the process with the given PID.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// AddVMA registers a virtual memory area for demand paging. Start/end are
+// page aligned (start rounded down, end rounded up).
+func (k *Kernel) AddVMA(p *Process, start, end mem.Addr, flags uint64, name string) VMA {
+	v := VMA{
+		Start: mem.PageBase(start),
+		End:   mem.PageBase(end + mem.PageSize - 1),
+		Flags: flags,
+		Name:  name,
+	}
+	p.vmas = append(p.vmas, v)
+	sort.Slice(p.vmas, func(i, j int) bool { return p.vmas[i].Start < p.vmas[j].Start })
+	return v
+}
+
+// MapEager allocates and maps every page of the VMA immediately
+// (pre-faulting), so first-touch faults do not perturb an experiment.
+func (k *Kernel) MapEager(p *Process, v VMA) error {
+	for va := v.Start; va < v.End; va += mem.PageSize {
+		if _, err := p.as.Translate(va); err == nil {
+			continue
+		}
+		if _, err := p.as.MapNew(va, v.Flags); err != nil {
+			return fmt.Errorf("kernel: eager map %s at %#x: %w", v.Name, va, err)
+		}
+	}
+	return nil
+}
+
+// Schedule binds a process to an SMT context (context switch: CR3 write;
+// TLB entries are PCID-tagged so no flush is required).
+func (k *Kernel) Schedule(ctxID int, p *Process) {
+	k.running[ctxID] = p
+	k.core.Context(ctxID).SetAddressSpace(p.as)
+}
+
+// Running returns the process bound to the context.
+func (k *Kernel) Running(ctxID int) (*Process, bool) {
+	p, ok := k.running[ctxID]
+	return p, ok
+}
+
+// RegisterHook appends a fault hook (kernel-module registration). Hooks
+// run in registration order; the first to handle a fault wins. The
+// returned function unregisters the hook.
+func (k *Kernel) RegisterHook(h FaultHook) (unregister func()) {
+	k.hooks = append(k.hooks, h)
+	idx := len(k.hooks) - 1
+	removed := false
+	return func() {
+		if removed {
+			return
+		}
+		removed = true
+		k.hooks[idx] = nil
+	}
+}
+
+// FaultLog returns the faults delivered so far.
+func (k *Kernel) FaultLog() []FaultRecord { return append([]FaultRecord(nil), k.faultLog...) }
+
+// ClearFaultLog resets the log.
+func (k *Kernel) ClearFaultLog() { k.faultLog = k.faultLog[:0] }
+
+// HandlePageFault implements cpu.FaultHandler: steps 2-7 of Figure 9.
+func (k *Kernel) HandlePageFault(f cpu.PageFault) cpu.FaultOutcome {
+	proc, ok := k.running[f.Context]
+	if !ok {
+		return cpu.FaultOutcome{Terminate: true}
+	}
+	minor := false
+	if e, _, err := proc.as.LeafEntry(f.VA); err == nil && e != 0 && !e.Present() {
+		minor = true
+	}
+	k.faultLog = append(k.faultLog, FaultRecord{
+		PID:   proc.PID,
+		VA:    f.VA,
+		VPN:   mem.PageNum(f.VA),
+		Write: f.Write,
+		Cycle: k.core.Cycle(),
+		Minor: minor,
+	})
+
+	// Step 4: trampoline into registered modules (MicroScope).
+	for _, h := range k.hooks {
+		if h == nil {
+			continue // unregistered slot
+		}
+		if out, handled := h.HandleFault(proc, f); handled {
+			return out
+		}
+	}
+
+	// Default handling.
+	if minor {
+		// Present bit cleared but mapping intact: minor fault. Restore.
+		if _, err := proc.as.SetPresent(f.VA, true); err != nil {
+			return cpu.FaultOutcome{Terminate: true}
+		}
+		return cpu.FaultOutcome{HandlerLatency: k.cfg.MinorFaultLatency}
+	}
+	// Swapped-out page? Restore it (major fault).
+	if restored, err := k.swapIn(proc, f.VA); err != nil {
+		return cpu.FaultOutcome{Terminate: true}
+	} else if restored {
+		return cpu.FaultOutcome{HandlerLatency: k.cfg.DemandPageLatency}
+	}
+	v, ok := proc.FindVMA(f.VA)
+	if !ok {
+		return cpu.FaultOutcome{Terminate: true} // segfault
+	}
+	if f.Write && v.Flags&mem.FlagWritable == 0 {
+		return cpu.FaultOutcome{Terminate: true} // write to read-only VMA
+	}
+	if e, ea, err := proc.as.LeafEntry(f.VA); err == nil && e.Present() {
+		// Present mapping but the access write-faulted: upgrade the PTE
+		// to the VMA's permissions (e.g. after attack cleanup).
+		k.phys.Write64(ea, uint64(e.WithFlags(v.Flags)))
+		k.Invlpg(proc, f.VA)
+		return cpu.FaultOutcome{HandlerLatency: k.cfg.MinorFaultLatency}
+	}
+	if _, err := proc.as.MapNew(mem.PageBase(f.VA), v.Flags); err != nil {
+		return cpu.FaultOutcome{Terminate: true}
+	}
+	return cpu.FaultOutcome{HandlerLatency: k.cfg.DemandPageLatency}
+}
+
+// Invlpg flushes one page's translation from the TLB complex, as the OS
+// must after updating a page-table entry (§2.1 TLB coherence).
+func (k *Kernel) Invlpg(p *Process, va mem.Addr) {
+	k.core.TLBs().Invalidate(mem.PageNum(va), p.as.PCID())
+}
+
+// WriteVirt copies data into a process's memory, demand-mapping pages
+// from its VMAs as needed (used by loaders and tests; refuses enclave
+// pages — see sim/enclave for the access-control wrapper).
+func (k *Kernel) WriteVirt(p *Process, va mem.Addr, b []byte) error {
+	for off := 0; off < len(b); {
+		page := mem.PageBase(va + uint64(off))
+		if _, err := p.as.Translate(page); err != nil {
+			v, ok := p.FindVMA(page)
+			if !ok {
+				return fmt.Errorf("kernel: write outside VMAs at %#x", page)
+			}
+			if _, err := p.as.MapNew(page, v.Flags); err != nil {
+				return err
+			}
+		}
+		n := int(page + mem.PageSize - (va + uint64(off)))
+		if n > len(b)-off {
+			n = len(b) - off
+		}
+		if err := p.as.WriteVirt(va+uint64(off), b[off:off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}

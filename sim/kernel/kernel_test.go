@@ -1,0 +1,424 @@
+package kernel
+
+import (
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+type rig struct {
+	k    *Kernel
+	core *cpu.Core
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	phys := mem.NewPhysMem(32 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	k := New(DefaultConfig(), phys, core)
+	return &rig{k: k, core: core}
+}
+
+func (r *rig) spawn(t *testing.T, name string) *Process {
+	t.Helper()
+	p, err := r.k.NewProcess(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProcessCreation(t *testing.T) {
+	r := newRig(t)
+	p1 := r.spawn(t, "a")
+	p2 := r.spawn(t, "b")
+	if p1.PID == p2.PID {
+		t.Error("PIDs collide")
+	}
+	if p1.AddressSpace().PCID() == p2.AddressSpace().PCID() {
+		t.Error("PCIDs collide")
+	}
+	if got, ok := r.k.Process(p1.PID); !ok || got != p1 {
+		t.Error("Process lookup failed")
+	}
+	if _, ok := r.k.Process(999); ok {
+		t.Error("lookup of unknown PID succeeded")
+	}
+}
+
+func TestVMALookup(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "v")
+	r.k.AddVMA(p, 0x2000, 0x4000, mem.FlagUser, "heap")
+	r.k.AddVMA(p, 0x1000, 0x1800, mem.FlagUser, "stack")
+	if v, ok := p.FindVMA(0x2abc); !ok || v.Name != "heap" {
+		t.Errorf("FindVMA(0x2abc) = %+v, %t", v, ok)
+	}
+	// End rounded up to page boundary.
+	if v, ok := p.FindVMA(0x1900); !ok || v.Name != "stack" {
+		t.Errorf("FindVMA(0x1900) = %+v, %t (end should round up)", v, ok)
+	}
+	if _, ok := p.FindVMA(0x9000); ok {
+		t.Error("FindVMA outside areas succeeded")
+	}
+	vmas := p.VMAs()
+	if len(vmas) != 2 || vmas[0].Name != "stack" {
+		t.Errorf("VMAs not sorted: %+v", vmas)
+	}
+}
+
+func TestDemandPaging(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "d")
+	base := mem.Addr(0x10_0000)
+	r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser|mem.FlagWritable, "data")
+	r.k.Schedule(0, p)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		MovImm(isa.R2, 7).
+		Store(isa.R2, isa.R1, 0).
+		Load(isa.R3, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("did not halt")
+	}
+	if ctx.Reg(isa.R3) != 7 {
+		t.Errorf("r3 = %d", ctx.Reg(isa.R3))
+	}
+	if ctx.Stats().PageFaults != 1 {
+		t.Errorf("faults = %d, want 1 (demand page)", ctx.Stats().PageFaults)
+	}
+	log := r.k.FaultLog()
+	if len(log) != 1 || log[0].Minor {
+		t.Errorf("fault log = %+v, want one major fault", log)
+	}
+}
+
+func TestSegfaultTerminates(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "s")
+	r.k.Schedule(0, p)
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, 0x7777_0000).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("context did not terminate")
+	}
+	// r2 must never have been written: the load faulted fatally.
+	if ctx.Reg(isa.R2) != 0 {
+		t.Error("load retired despite segfault")
+	}
+}
+
+func TestMinorFaultRestoresPresent(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "m")
+	base := mem.Addr(0x20_0000)
+	v := r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser|mem.FlagWritable, "data")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddressSpace().SetPresent(base, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, p)
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("did not halt")
+	}
+	log := r.k.FaultLog()
+	if len(log) != 1 || !log[0].Minor {
+		t.Fatalf("fault log = %+v, want one minor fault", log)
+	}
+	// Present restored.
+	if _, err := p.AddressSpace().Translate(base); err != nil {
+		t.Errorf("translation still broken after minor fault: %v", err)
+	}
+}
+
+func TestWriteToReadOnlyVMATerminates(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "ro")
+	base := mem.Addr(0x30_0000)
+	r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser, "rodata")
+	r.k.Schedule(0, p)
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		MovImm(isa.R2, 1).
+		Store(isa.R2, isa.R1, 0).
+		MovImm(isa.R3, 42). // must not retire
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if ctx.Reg(isa.R3) == 42 {
+		t.Error("execution continued past fatal write fault")
+	}
+}
+
+type hookFunc func(p *Process, f cpu.PageFault) (cpu.FaultOutcome, bool)
+
+func (h hookFunc) HandleFault(p *Process, f cpu.PageFault) (cpu.FaultOutcome, bool) {
+	return h(p, f)
+}
+
+func TestHookInterceptsFault(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "h")
+	base := mem.Addr(0x40_0000)
+	v := r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser, "data")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddressSpace().SetPresent(base, false); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, p)
+
+	calls := 0
+	hook := hookFunc(func(hp *Process, f cpu.PageFault) (cpu.FaultOutcome, bool) {
+		if hp != p {
+			t.Errorf("hook got process %v", hp)
+		}
+		calls++
+		if calls < 3 {
+			// Keep the present bit clear: replay.
+			return cpu.FaultOutcome{HandlerLatency: 100}, true
+		}
+		if _, err := p.AddressSpace().SetPresent(base, true); err != nil {
+			t.Error(err)
+		}
+		return cpu.FaultOutcome{HandlerLatency: 100}, true
+	})
+	unregister := r.k.RegisterHook(hook)
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(2_000_000)
+	if !ctx.Halted() {
+		t.Fatal("did not halt")
+	}
+	if calls != 3 {
+		t.Errorf("hook called %d times, want 3 (2 replays + release)", calls)
+	}
+
+	// After unregistering, the hook must not fire again.
+	unregister()
+	unregister() // idempotent
+	r.k.ClearFaultLog()
+	if _, err := p.AddressSpace().SetPresent(base, false); err != nil {
+		t.Fatal(err)
+	}
+	// TLB coherence: without INVLPG the stale translation would let the
+	// load bypass the cleared present bit entirely.
+	r.k.Invlpg(p, base)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(2_000_000)
+	if calls != 3 {
+		t.Errorf("hook fired after unregister (calls=%d)", calls)
+	}
+	if len(r.k.FaultLog()) != 1 {
+		t.Errorf("default path did not log fault: %+v", r.k.FaultLog())
+	}
+}
+
+func TestFaultLogRecordsVPNOnly(t *testing.T) {
+	// The OS-visible information is the faulting VPN (SGX AEX semantics):
+	// the log carries VA and VPN; downstream consumers (controlled-channel
+	// attack tests) use VPN.
+	r := newRig(t)
+	p := r.spawn(t, "log")
+	base := mem.Addr(0x50_0000)
+	r.k.AddVMA(p, base, base+2*mem.PageSize, mem.FlagUser, "data")
+	r.k.Schedule(0, p)
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 0x18).
+		Load(isa.R3, isa.R1, int64(mem.PageSize)+0x20).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(2_000_000)
+	log := r.k.FaultLog()
+	if len(log) != 2 {
+		t.Fatalf("fault log has %d entries, want 2", len(log))
+	}
+	if log[0].VPN != mem.PageNum(base) || log[1].VPN != mem.PageNum(base)+1 {
+		t.Errorf("VPN sequence = %#x, %#x", log[0].VPN, log[1].VPN)
+	}
+}
+
+func TestInvlpg(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "inv")
+	base := mem.Addr(0x60_0000)
+	v := r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser|mem.FlagWritable, "d")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, p)
+	// Warm the TLB by running a load.
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if _, lvl := r.core.TLBs().LookupData(mem.PageNum(base), p.AddressSpace().PCID()); lvl == 0 {
+		t.Fatal("TLB not warm after load")
+	}
+	r.k.Invlpg(p, base)
+	if _, lvl := r.core.TLBs().LookupData(mem.PageNum(base), p.AddressSpace().PCID()); lvl != 0 {
+		t.Error("translation survived INVLPG")
+	}
+}
+
+func TestKernelWriteVirtDemandMaps(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "w")
+	base := mem.Addr(0x70_0000)
+	r.k.AddVMA(p, base, base+3*mem.PageSize, mem.FlagUser|mem.FlagWritable, "data")
+	data := make([]byte, 2*mem.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := r.k.WriteVirt(p, base+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.AddressSpace().ReadVirt(base+100, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], data[i])
+		}
+	}
+	if err := r.k.WriteVirt(p, 0x9999_0000, []byte{1}); err == nil {
+		t.Error("write outside VMAs succeeded")
+	}
+}
+
+func TestMapEagerIdempotent(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "e")
+	base := mem.Addr(0x80_0000)
+	v := r.k.AddVMA(p, base, base+4*mem.PageSize, mem.FlagUser, "data")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	before := r.k.Phys().AllocatedFrames()
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	if r.k.Phys().AllocatedFrames() != before {
+		t.Error("second MapEager allocated frames")
+	}
+}
+
+func TestEvictAndSwapIn(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "swap")
+	base := mem.Addr(0x90_0000)
+	v := r.k.AddVMA(p, base, base+2*mem.PageSize, mem.FlagUser|mem.FlagWritable, "data")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddressSpace().Write64Virt(base+8, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, p)
+
+	// Evict the page; data must survive the round trip through swap.
+	if err := r.k.EvictPage(p, base); err != nil {
+		t.Fatal(err)
+	}
+	if !r.k.Swapped(p, base) {
+		t.Fatal("page not recorded as swapped")
+	}
+	if _, err := p.AddressSpace().Translate(base); err == nil {
+		t.Fatal("evicted page still translates")
+	}
+
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 8).
+		Halt().MustBuild()
+	ctx := r.core.Context(0)
+	ctx.SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if !ctx.Halted() {
+		t.Fatal("did not halt")
+	}
+	if got := ctx.Reg(isa.R2); got != 0xfeed {
+		t.Errorf("loaded %#x after swap-in, want 0xfeed", got)
+	}
+	if r.k.Swapped(p, base) {
+		t.Error("page still marked swapped after swap-in")
+	}
+	ev, si := r.k.SwapStats()
+	if ev != 1 || si != 1 {
+		t.Errorf("swap stats = %d/%d", ev, si)
+	}
+}
+
+func TestEvictUnmappedFails(t *testing.T) {
+	r := newRig(t)
+	p := r.spawn(t, "e")
+	if err := r.k.EvictPage(p, 0x9999_0000); err == nil {
+		t.Error("evicting unmapped page succeeded")
+	}
+}
+
+func TestEvictedPageIsNaturalReplayHandle(t *testing.T) {
+	// An evicted page's access is "an instruction with a naturally
+	// occurring page fault" (§4.1.1) — hooks see it like any armed fault.
+	r := newRig(t)
+	p := r.spawn(t, "nat")
+	base := mem.Addr(0xA0_0000)
+	v := r.k.AddVMA(p, base, base+mem.PageSize, mem.FlagUser|mem.FlagWritable, "d")
+	if err := r.k.MapEager(p, v); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Schedule(0, p)
+	if err := r.k.EvictPage(p, base); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	r.k.RegisterHook(hookFunc(func(hp *Process, f cpu.PageFault) (cpu.FaultOutcome, bool) {
+		if mem.PageNum(f.VA) == mem.PageNum(base) {
+			seen++
+		}
+		return cpu.FaultOutcome{}, false // observe only
+	}))
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(base)).
+		Load(isa.R2, isa.R1, 0).
+		Halt().MustBuild()
+	r.core.Context(0).SetProgram(prog, 0)
+	r.core.Run(1_000_000)
+	if seen != 1 {
+		t.Errorf("hook saw %d natural faults, want 1", seen)
+	}
+}

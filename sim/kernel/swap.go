@@ -1,0 +1,78 @@
+package kernel
+
+import (
+	"fmt"
+
+	"microscope/sim/mem"
+)
+
+// Page eviction and swap: the OS may displace a resident page to backing
+// store and fault it back in on demand. The paper's §2.3 notes the OS is
+// responsible for the TLB invalidations this requires; evicted pages are
+// also natural replay handles (a naturally occurring page fault,
+// §4.1.1).
+
+type swapKey struct {
+	pid int
+	vpn uint64
+}
+
+// EvictPage removes va's page from memory: its contents move to the
+// kernel's swap store, the frame is freed, the PTE is cleared, and the
+// TLB entry is invalidated. The next access demand-faults and SwapIn
+// restores the contents.
+func (k *Kernel) EvictPage(p *Process, va mem.Addr) error {
+	page := mem.PageBase(va)
+	pa, err := p.as.Translate(page)
+	if err != nil {
+		return fmt.Errorf("kernel: evicting unmapped page %#x: %w", page, err)
+	}
+	if k.swap == nil {
+		k.swap = make(map[swapKey][]byte)
+	}
+	k.swap[swapKey{p.PID, mem.PageNum(page)}] = k.phys.ReadBytes(pa, mem.PageSize)
+	if err := p.as.Unmap(page); err != nil {
+		return err
+	}
+	k.phys.FreeFrame(mem.PageNum(pa))
+	k.Invlpg(p, page)
+	// Evicted contents must not linger in the cache hierarchy.
+	for off := mem.Addr(0); off < mem.PageSize; off += 64 {
+		k.core.Hierarchy().FlushAddr(pa + off)
+	}
+	k.evictions++
+	return nil
+}
+
+// swapIn restores an evicted page, reporting whether va was swapped.
+func (k *Kernel) swapIn(p *Process, va mem.Addr) (bool, error) {
+	key := swapKey{p.PID, mem.PageNum(va)}
+	data, ok := k.swap[key]
+	if !ok {
+		return false, nil
+	}
+	v, found := p.FindVMA(va)
+	if !found {
+		return false, fmt.Errorf("kernel: swapped page %#x outside VMAs", va)
+	}
+	if _, err := p.as.MapNew(mem.PageBase(va), v.Flags); err != nil {
+		return false, err
+	}
+	if err := p.as.WriteVirt(mem.PageBase(va), data); err != nil {
+		return false, err
+	}
+	delete(k.swap, key)
+	k.swapIns++
+	return true, nil
+}
+
+// SwapStats returns cumulative eviction and swap-in counts.
+func (k *Kernel) SwapStats() (evictions, swapIns uint64) {
+	return k.evictions, k.swapIns
+}
+
+// Swapped reports whether va's page currently lives in the swap store.
+func (k *Kernel) Swapped(p *Process, va mem.Addr) bool {
+	_, ok := k.swap[swapKey{p.PID, mem.PageNum(va)}]
+	return ok
+}

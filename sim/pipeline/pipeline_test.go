@@ -1,0 +1,268 @@
+package pipeline
+
+import (
+	"testing"
+
+	"microscope/sim/isa"
+)
+
+func entry(seq uint64, op isa.Op) *Entry {
+	return &Entry{Seq: seq, Instr: isa.Instr{Op: op}, State: StateDispatched}
+}
+
+func TestROBFIFO(t *testing.T) {
+	r := NewROB(4)
+	for i := uint64(0); i < 4; i++ {
+		r.Push(entry(i, isa.OpNop))
+	}
+	if !r.Full() {
+		t.Error("ROB not full after cap pushes")
+	}
+	if r.Head().Seq != 0 {
+		t.Errorf("head seq = %d", r.Head().Seq)
+	}
+	e := r.PopHead()
+	if e.Seq != 0 || r.Len() != 3 {
+		t.Errorf("pop = %d, len = %d", e.Seq, r.Len())
+	}
+}
+
+func TestROBPushFullPanics(t *testing.T) {
+	r := NewROB(1)
+	r.Push(entry(0, isa.OpNop))
+	defer func() {
+		if recover() == nil {
+			t.Error("push to full ROB did not panic")
+		}
+	}()
+	r.Push(entry(1, isa.OpNop))
+}
+
+func TestROBSquashAll(t *testing.T) {
+	r := NewROB(4)
+	es := []*Entry{entry(0, isa.OpNop), entry(1, isa.OpNop)}
+	for _, e := range es {
+		r.Push(e)
+	}
+	if n := r.SquashAll(); n != 2 {
+		t.Errorf("SquashAll = %d", n)
+	}
+	if r.Len() != 0 {
+		t.Error("entries survive SquashAll")
+	}
+	for _, e := range es {
+		if e.State != StateSquashed {
+			t.Errorf("entry %d state = %s", e.Seq, e.State)
+		}
+	}
+}
+
+func TestROBSquashYounger(t *testing.T) {
+	r := NewROB(8)
+	var es []*Entry
+	for i := uint64(0); i < 5; i++ {
+		e := entry(i, isa.OpNop)
+		es = append(es, e)
+		r.Push(e)
+	}
+	if n := r.SquashYounger(2); n != 2 {
+		t.Errorf("SquashYounger = %d, want 2", n)
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d, want 3", r.Len())
+	}
+	if es[3].State != StateSquashed || es[4].State != StateSquashed {
+		t.Error("younger entries not marked squashed")
+	}
+	if es[2].State == StateSquashed {
+		t.Error("entry at seq boundary squashed")
+	}
+}
+
+func TestROBWalkOrder(t *testing.T) {
+	r := NewROB(4)
+	for i := uint64(0); i < 3; i++ {
+		r.Push(entry(i, isa.OpNop))
+	}
+	var seen []uint64
+	r.Walk(func(e *Entry) bool {
+		seen = append(seen, e.Seq)
+		return true
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Errorf("walk order = %v", seen)
+	}
+	seen = seen[:0]
+	r.Walk(func(e *Entry) bool {
+		seen = append(seen, e.Seq)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Errorf("walk did not stop early: %v", seen)
+	}
+}
+
+func TestOperandsReadyViaProducer(t *testing.T) {
+	prod := entry(0, isa.OpAdd)
+	cons := entry(1, isa.OpAdd)
+	cons.Src[0] = Operand{Producer: prod}
+	cons.Src[1] = Operand{Ready: true, Value: 7}
+	if cons.OperandsReady() {
+		t.Error("ready before producer completes")
+	}
+	prod.State = StateCompleted
+	prod.Result = 42
+	if !cons.OperandsReady() {
+		t.Fatal("not ready after producer completed")
+	}
+	if cons.Src[0].Value != 42 {
+		t.Errorf("forwarded value = %d", cons.Src[0].Value)
+	}
+	if cons.Src[0].Producer != nil {
+		t.Error("producer link not cleared after forwarding")
+	}
+}
+
+func TestOperandsReadyFromRetiredProducer(t *testing.T) {
+	prod := entry(0, isa.OpAdd)
+	prod.State = StateRetired
+	prod.Result = 9
+	cons := entry(1, isa.OpAdd)
+	cons.Src[0] = Operand{Producer: prod}
+	cons.Src[1] = Operand{Ready: true}
+	if !cons.OperandsReady() || cons.Src[0].Value != 9 {
+		t.Error("retired producer not forwarded")
+	}
+}
+
+func TestPortsForClasses(t *testing.T) {
+	if p := PortsFor(isa.OpDiv); len(p) != 1 || p[0] != PortDiv {
+		t.Errorf("div ports = %v", p)
+	}
+	if p := PortsFor(isa.OpFDiv); len(p) != 1 || p[0] != PortDiv {
+		t.Errorf("fdiv ports = %v", p)
+	}
+	if p := PortsFor(isa.OpLoad); len(p) != 2 {
+		t.Errorf("load ports = %v", p)
+	}
+	if p := PortsFor(isa.OpAdd); len(p) != 2 || p[0] != PortALU0 {
+		t.Errorf("alu ports = %v", p)
+	}
+	if p := PortsFor(isa.OpFMul); len(p) != 1 || p[0] != PortMul {
+		t.Errorf("fmul ports = %v", p)
+	}
+}
+
+func TestPortSetPerCycleSlots(t *testing.T) {
+	var ps PortSet
+	ps.NewCycle(1)
+	if _, ok := ps.TryIssue(isa.OpStore, 1); !ok {
+		t.Fatal("first store issue failed")
+	}
+	if _, ok := ps.TryIssue(isa.OpStore, 1); ok {
+		t.Error("second store issued on single store port")
+	}
+	// Two loads per cycle on two ports, third fails.
+	if _, ok := ps.TryIssue(isa.OpLoad, 1); !ok {
+		t.Error("load0 failed")
+	}
+	if _, ok := ps.TryIssue(isa.OpLoad, 1); !ok {
+		t.Error("load1 failed")
+	}
+	if _, ok := ps.TryIssue(isa.OpLoad, 1); ok {
+		t.Error("third load issued")
+	}
+	ps.NewCycle(2)
+	if _, ok := ps.TryIssue(isa.OpStore, 1); !ok {
+		t.Error("store slot not recycled next cycle")
+	}
+}
+
+func TestDividerNonPipelined(t *testing.T) {
+	var ps PortSet
+	ps.NewCycle(10)
+	if _, ok := ps.TryIssue(isa.OpFDiv, 24); !ok {
+		t.Fatal("first div failed")
+	}
+	if !ps.DivBusy() {
+		t.Error("divider not busy after issue")
+	}
+	// Busy for the full 24 cycles: issue at 33 fails, at 34 succeeds.
+	ps.NewCycle(33)
+	if _, ok := ps.TryIssue(isa.OpFDiv, 24); ok {
+		t.Error("div issued while unit busy (should contend)")
+	}
+	ps.NewCycle(34)
+	if _, ok := ps.TryIssue(isa.OpFDiv, 24); !ok {
+		t.Error("div failed after unit freed")
+	}
+	if ps.DivBusyCycles != 48 {
+		t.Errorf("DivBusyCycles = %d, want 48", ps.DivBusyCycles)
+	}
+}
+
+func TestMulIsPipelined(t *testing.T) {
+	var ps PortSet
+	ps.NewCycle(1)
+	if _, ok := ps.TryIssue(isa.OpMul, 3); !ok {
+		t.Fatal("mul issue failed")
+	}
+	ps.NewCycle(2)
+	if _, ok := ps.TryIssue(isa.OpMul, 3); !ok {
+		t.Error("mul not pipelined: back-to-back issue failed")
+	}
+}
+
+func TestPredictorLearnsLoop(t *testing.T) {
+	bp := NewPredictor(8)
+	pc, target := 5, 2
+	// Initially predicted not-taken (cold counters + no BTB).
+	if taken, tgt := bp.Predict(pc); taken || tgt != pc+1 {
+		t.Errorf("cold predict = %t, %d", taken, tgt)
+	}
+	for range 3 {
+		bp.Update(pc, true, target)
+	}
+	taken, tgt := bp.Predict(pc)
+	if !taken || tgt != target {
+		t.Errorf("trained predict = %t, %d; want true, %d", taken, tgt, target)
+	}
+	// Train not-taken again; counter decays.
+	for range 4 {
+		bp.Update(pc, false, 0)
+	}
+	if taken, _ := bp.Predict(pc); taken {
+		t.Error("predictor did not decay to not-taken")
+	}
+}
+
+func TestPredictorFlush(t *testing.T) {
+	bp := NewPredictor(8)
+	bp.Prime(5, true, 2)
+	if taken, _ := bp.Predict(5); !taken {
+		t.Fatal("prime failed")
+	}
+	bp.Flush()
+	if taken, tgt := bp.Predict(5); taken || tgt != 6 {
+		t.Error("flush did not reset predictor")
+	}
+}
+
+func TestPredictorBTBCollisionFallsBack(t *testing.T) {
+	bp := NewPredictor(2) // 4 entries: pc 1 and 5 collide
+	bp.Prime(1, true, 9)
+	// pc 5 maps to the same slot but has a different pc tag: fall back to
+	// not-taken even though the counter is saturated.
+	if taken, tgt := bp.Predict(5); taken || tgt != 6 {
+		t.Errorf("collided predict = %t,%d; want false,6", taken, tgt)
+	}
+}
+
+func TestEntryStateString(t *testing.T) {
+	states := []EntryState{StateDispatched, StateIssued, StateCompleted, StateFaulted, StateSquashed, StateRetired}
+	for _, s := range states {
+		if s.String() == "" {
+			t.Errorf("state %d has empty name", s)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"microscope/sim/isa"
+)
+
+// Port identifies an execution port. Ports are shared between the SMT
+// contexts of a core — the sharing is what creates the port-contention
+// side channel the paper's main result denoises (§4.3, PortSmash-style).
+type Port int
+
+// Execution ports.
+const (
+	PortALU0 Port = iota // integer ALU, moves, special ops
+	PortALU1             // integer ALU, branches
+	PortMul              // pipelined integer/FP multiplier and FP adder
+	PortDiv              // NON-pipelined integer/FP divider
+	PortLoad0
+	PortLoad1
+	PortStore
+	NumPorts
+)
+
+// String returns the port name.
+func (p Port) String() string {
+	switch p {
+	case PortALU0:
+		return "ALU0"
+	case PortALU1:
+		return "ALU1"
+	case PortMul:
+		return "MUL"
+	case PortDiv:
+		return "DIV"
+	case PortLoad0:
+		return "LD0"
+	case PortLoad1:
+		return "LD1"
+	case PortStore:
+		return "ST"
+	}
+	return fmt.Sprintf("Port(%d)", int(p))
+}
+
+// PortsFor returns the ports on which op may issue, in preference order.
+func PortsFor(op isa.Op) []Port {
+	switch {
+	case op.IsLoad():
+		return loadPorts
+	case op.IsStore():
+		return storePorts
+	case op.IsBranch():
+		return branchPorts
+	}
+	switch op {
+	case isa.OpMul, isa.OpFMul, isa.OpFAdd:
+		return mulPorts
+	case isa.OpDiv, isa.OpFDiv:
+		return divPorts
+	default:
+		return aluPorts
+	}
+}
+
+var (
+	aluPorts    = []Port{PortALU0, PortALU1}
+	branchPorts = []Port{PortALU1, PortALU0}
+	mulPorts    = []Port{PortMul}
+	divPorts    = []Port{PortDiv}
+	loadPorts   = []Port{PortLoad0, PortLoad1}
+	storePorts  = []Port{PortStore}
+)
+
+// PortSet books issue slots per cycle and models the divider's
+// non-pipelined occupancy. All state is shared by the core's SMT contexts.
+type PortSet struct {
+	cycle        uint64
+	issuedThis   [NumPorts]bool
+	divBusyUntil uint64
+	// DivBusyCycles accumulates total cycles the divider was occupied, a
+	// diagnostic for contention experiments.
+	DivBusyCycles uint64
+}
+
+// NewCycle advances the port set to the given cycle, clearing per-cycle
+// issue slots.
+func (ps *PortSet) NewCycle(cycle uint64) {
+	ps.cycle = cycle
+	for i := range ps.issuedThis {
+		ps.issuedThis[i] = false
+	}
+}
+
+// TryIssue attempts to claim a port for op this cycle. The divider is
+// non-pipelined: a div may only begin when the unit is idle, and occupies
+// it for the instruction's full latency (passed by the caller via
+// occupancy). For pipelined ports occupancy is ignored — one issue per
+// cycle per port. It returns the claimed port.
+func (ps *PortSet) TryIssue(op isa.Op, occupancy uint64) (Port, bool) {
+	for _, p := range PortsFor(op) {
+		if ps.issuedThis[p] {
+			continue
+		}
+		if p == PortDiv {
+			if ps.divBusyUntil > ps.cycle {
+				return 0, false // divider busy: PORT CONTENTION
+			}
+			ps.divBusyUntil = ps.cycle + occupancy
+			ps.DivBusyCycles += occupancy
+		}
+		ps.issuedThis[p] = true
+		return p, true
+	}
+	return 0, false
+}
+
+// DivBusy reports whether the divider is occupied at the current cycle.
+func (ps *PortSet) DivBusy() bool { return ps.divBusyUntil > ps.cycle }
+
+// DivFreeAt returns the cycle at which the divider next becomes free.
+func (ps *PortSet) DivFreeAt() uint64 { return ps.divBusyUntil }

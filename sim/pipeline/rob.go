@@ -1,0 +1,200 @@
+// Package pipeline provides the passive structures of the simulated
+// out-of-order core: the reorder buffer, the execution-port set with a
+// non-pipelined divider, and the branch predictor. The cycle engine that
+// drives them lives in sim/cpu.
+//
+// The reorder buffer is the heart of a microarchitectural replay attack:
+// instructions younger than a page-faulting load execute speculatively
+// while the fault waits to reach the ROB head, and are then squashed and
+// re-executed — once per replay (paper §2.2, §4.1).
+package pipeline
+
+import (
+	"fmt"
+
+	"microscope/sim/isa"
+)
+
+// EntryState tracks an instruction's progress through the ROB.
+type EntryState int
+
+// Lifecycle states of a ROB entry.
+const (
+	StateDispatched EntryState = iota // waiting for operands or a port
+	StateIssued                       // executing on a functional unit
+	StateCompleted                    // result available
+	StateFaulted                      // completed with a pending exception
+	StateSquashed                     // removed by a squash; kept for debugging
+	StateRetired                      // committed
+)
+
+// String returns the state name.
+func (s EntryState) String() string {
+	switch s {
+	case StateDispatched:
+		return "dispatched"
+	case StateIssued:
+		return "issued"
+	case StateCompleted:
+		return "completed"
+	case StateFaulted:
+		return "faulted"
+	case StateSquashed:
+		return "squashed"
+	case StateRetired:
+		return "retired"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Operand is one source operand of a ROB entry: either a ready value or a
+// pointer to the producing in-flight entry.
+type Operand struct {
+	Ready    bool
+	Value    uint64 // valid when Ready (float operands carry IEEE-754 bits)
+	Producer *Entry // valid when !Ready
+}
+
+// Entry is one in-flight instruction.
+type Entry struct {
+	Seq     uint64 // global dispatch order, used for age comparisons
+	PC      int
+	Instr   isa.Instr
+	State   EntryState
+	Context int
+
+	Src [2]Operand
+
+	// Result holds the destination value once completed (float results as
+	// IEEE-754 bits).
+	Result uint64
+
+	// CompleteAt is the cycle the instruction finishes executing (valid
+	// once issued).
+	CompleteAt uint64
+
+	// Branch resolution.
+	PredictedTaken bool
+	PredictedPC    int
+	ActualPC       int
+	Mispredicted   bool
+
+	// Memory access bookkeeping.
+	EffAddr    uint64 // virtual address
+	PhysAddr   uint64 // translation result, valid unless Fault != nil
+	Fault      error  // pending precise exception (*mem.Fault wrapped by cpu)
+	WalkCycles int    // page-walk duration observed by this access (0 = TLB hit)
+}
+
+// OperandsReady reports whether both sources are available.
+func (e *Entry) OperandsReady() bool {
+	for i := range e.Src {
+		if !e.Src[i].Ready {
+			p := e.Src[i].Producer
+			if p == nil {
+				return false
+			}
+			if p.State == StateCompleted || p.State == StateRetired {
+				e.Src[i].Ready = true
+				e.Src[i].Value = p.Result
+				e.Src[i].Producer = nil
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// ROB is one hardware context's reorder buffer: a FIFO of in-flight
+// instructions in program order. (SMT cores statically partition the
+// physical ROB; modelling one ROB per context matches that and keeps
+// squashes context-local, as on the paper's Xeon.)
+type ROB struct {
+	entries []*Entry
+	cap     int
+}
+
+// NewROB returns a ROB with the given capacity.
+func NewROB(capacity int) *ROB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("pipeline: ROB capacity %d", capacity))
+	}
+	return &ROB{cap: capacity}
+}
+
+// Cap returns the capacity.
+func (r *ROB) Cap() int { return r.cap }
+
+// Len returns the number of in-flight entries.
+func (r *ROB) Len() int { return len(r.entries) }
+
+// Full reports whether dispatch must stall.
+func (r *ROB) Full() bool { return len(r.entries) >= r.cap }
+
+// Head returns the oldest entry, or nil when empty.
+func (r *ROB) Head() *Entry {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	return r.entries[0]
+}
+
+// At returns the i-th oldest entry.
+func (r *ROB) At(i int) *Entry { return r.entries[i] }
+
+// Push appends a dispatched entry. It panics when full; callers must check
+// Full first (dispatch stalls on a full ROB).
+func (r *ROB) Push(e *Entry) {
+	if r.Full() {
+		panic("pipeline: push to full ROB")
+	}
+	r.entries = append(r.entries, e)
+}
+
+// PopHead removes and returns the oldest entry.
+func (r *ROB) PopHead() *Entry {
+	e := r.entries[0]
+	r.entries = r.entries[1:]
+	return e
+}
+
+// SquashAll removes every entry (pipeline flush on a fault), marking each
+// squashed, and returns the count.
+func (r *ROB) SquashAll() int {
+	n := len(r.entries)
+	for _, e := range r.entries {
+		e.State = StateSquashed
+	}
+	r.entries = r.entries[:0]
+	return n
+}
+
+// SquashYounger removes all entries strictly younger than seq (branch
+// misprediction recovery), marking each squashed, and returns the count.
+func (r *ROB) SquashYounger(seq uint64) int {
+	keep := len(r.entries)
+	for i, e := range r.entries {
+		if e.Seq > seq {
+			keep = i
+			break
+		}
+	}
+	n := 0
+	for _, e := range r.entries[keep:] {
+		e.State = StateSquashed
+		n++
+	}
+	r.entries = r.entries[:keep]
+	return n
+}
+
+// Walk calls fn on each in-flight entry, oldest first, stopping early if
+// fn returns false.
+func (r *ROB) Walk(fn func(*Entry) bool) {
+	for _, e := range r.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microscope/sim/mem"
+)
+
+func tr(vpn, ppn uint64, pcid uint16) Translation {
+	return Translation{VPN: vpn, PPN: ppn, PCID: pcid, Flags: EntryFlags{User: true}}
+}
+
+func TestLookupInsert(t *testing.T) {
+	tb := New("t", 4, 2)
+	if _, ok := tb.Lookup(7, 1); ok {
+		t.Error("cold lookup hit")
+	}
+	tb.Insert(tr(7, 0x42, 1))
+	got, ok := tb.Lookup(7, 1)
+	if !ok || got.PPN != 0x42 {
+		t.Errorf("lookup = %+v, %t", got, ok)
+	}
+	hits, misses := tb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestPCIDIsolation(t *testing.T) {
+	tb := New("t", 4, 2)
+	tb.Insert(tr(7, 0x42, 1))
+	if _, ok := tb.Lookup(7, 2); ok {
+		t.Error("translation leaked across PCIDs")
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tb := New("t", 4, 2)
+	tb.Insert(tr(7, 0x42, 1))
+	tb.Insert(tr(7, 0x43, 1))
+	got, ok := tb.Lookup(7, 1)
+	if !ok || got.PPN != 0x43 {
+		t.Errorf("update lost: %+v", got)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (no duplicate)", tb.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New("t", 1, 2) // single set, 2 ways
+	tb.Insert(tr(1, 0x1, 1))
+	tb.Insert(tr(2, 0x2, 1))
+	tb.Lookup(1, 1) // refresh vpn 1
+	tb.Insert(tr(3, 0x3, 1))
+	if _, ok := tb.Lookup(2, 1); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := tb.Lookup(1, 1); !ok {
+		t.Error("MRU entry evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tb := New("t", 4, 2)
+	tb.Insert(tr(9, 0x9, 3))
+	if !tb.Invalidate(9, 3) {
+		t.Error("invalidate of present entry returned false")
+	}
+	if tb.Invalidate(9, 3) {
+		t.Error("invalidate of absent entry returned true")
+	}
+	if _, ok := tb.Lookup(9, 3); ok {
+		t.Error("entry survived INVLPG")
+	}
+}
+
+func TestFlushPCID(t *testing.T) {
+	tb := New("t", 8, 2)
+	tb.Insert(tr(1, 1, 1))
+	tb.Insert(tr(2, 2, 1))
+	tb.Insert(tr(3, 3, 2))
+	tb.FlushPCID(1)
+	if tb.Len() != 1 {
+		t.Errorf("Len after FlushPCID = %d, want 1", tb.Len())
+	}
+	if _, ok := tb.Lookup(3, 2); !ok {
+		t.Error("other PCID entry flushed")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tb := New("t", 8, 2)
+	tb.Insert(tr(1, 1, 1))
+	tb.Insert(tr(2, 2, 2))
+	tb.FlushAll()
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d after FlushAll", tb.Len())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	New("bad", 3, 2)
+}
+
+func TestFlagsFromEntry(t *testing.T) {
+	e := mem.Entry(mem.FlagPresent | mem.FlagWritable | mem.FlagEnclave)
+	f := FlagsFromEntry(e)
+	if !f.Writable || f.User || !f.Enclave {
+		t.Errorf("flags = %+v", f)
+	}
+}
+
+func TestUnitDataPromotion(t *testing.T) {
+	u := NewUnit()
+	u.L2.Insert(tr(5, 0x55, 1))
+	got, lvl := u.LookupData(5, 1)
+	if lvl != 2 || got.PPN != 0x55 {
+		t.Fatalf("LookupData = %+v, level %d", got, lvl)
+	}
+	// The hit must have been promoted into L1D.
+	if _, lvl = u.LookupData(5, 1); lvl != 1 {
+		t.Errorf("second lookup level = %d, want 1 (promotion)", lvl)
+	}
+}
+
+func TestUnitInstrSeparateFromData(t *testing.T) {
+	u := NewUnit()
+	u.InsertData(tr(6, 0x66, 1))
+	// Instruction lookup should miss L1I but hit the unified L2.
+	if _, lvl := u.LookupInstr(6, 1); lvl != 2 {
+		t.Errorf("instr lookup level = %d, want 2", lvl)
+	}
+}
+
+func TestUnitInvalidateAll(t *testing.T) {
+	u := NewUnit()
+	u.InsertData(tr(8, 0x88, 1))
+	u.InsertInstr(tr(8, 0x88, 1))
+	u.Invalidate(8, 1)
+	if _, lvl := u.LookupData(8, 1); lvl != 0 {
+		t.Error("data translation survived Invalidate")
+	}
+	if _, lvl := u.LookupInstr(8, 1); lvl != 0 {
+		t.Error("instr translation survived Invalidate")
+	}
+}
+
+func TestUnitFlushPCIDAndAll(t *testing.T) {
+	u := NewUnit()
+	u.InsertData(tr(1, 1, 1))
+	u.InsertData(tr(2, 2, 2))
+	u.FlushPCID(1)
+	if _, lvl := u.LookupData(1, 1); lvl != 0 {
+		t.Error("PCID 1 survived FlushPCID")
+	}
+	if _, lvl := u.LookupData(2, 2); lvl == 0 {
+		t.Error("PCID 2 flushed by FlushPCID(1)")
+	}
+	u.FlushAll()
+	if _, lvl := u.LookupData(2, 2); lvl != 0 {
+		t.Error("entry survived FlushAll")
+	}
+}
+
+// Property: Insert then Lookup with matching PCID always hits and returns
+// the inserted PPN.
+func TestInsertLookupProperty(t *testing.T) {
+	tb := New("p", 16, 4)
+	f := func(vpn, ppn uint64, pcid uint16) bool {
+		tb.Insert(Translation{VPN: vpn, PPN: ppn, PCID: pcid})
+		got, ok := tb.Lookup(vpn, pcid)
+		return ok && got.PPN == ppn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
