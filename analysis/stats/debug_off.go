@@ -1,0 +1,8 @@
+//go:build !statsdebug
+
+package stats
+
+// debugChecks gates O(n) precondition checks (e.g. Quantile's sorted
+// check) that are too slow for release builds. Enable with
+// `go test -tags statsdebug ./...`.
+const debugChecks = false

@@ -1,0 +1,6 @@
+//go:build statsdebug
+
+package stats
+
+// debugChecks enables the precondition checks; see debug_off.go.
+const debugChecks = true

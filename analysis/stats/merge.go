@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accumulator accumulates latency samples incrementally and supports
+// merging two accumulators, so parallel sweep workers can each summarize
+// their own trials and combine at the end without re-sorting the union
+// of all samples.
+//
+// Moments (mean, variance) use Welford's online update and the Chan et
+// al. pairwise-merge formula, which are exact. Quantiles come from the
+// retained samples: each accumulator keeps its samples sorted (sorting
+// its own chunk once, lazily), and Merge combines two sorted runs with a
+// single linear pass.
+type Accumulator struct {
+	n        int
+	min, max float64
+	mean, m2 float64
+	samples  []float64
+	unsorted bool
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// N returns the number of accumulated samples.
+func (a *Accumulator) N() int { return a.n }
+
+// Add accumulates one sample.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if len(a.samples) > 0 && x < a.samples[len(a.samples)-1] {
+		a.unsorted = true
+	}
+	a.samples = append(a.samples, x)
+}
+
+// AddSamples accumulates a batch of uint64 samples.
+func (a *Accumulator) AddSamples(xs []uint64) {
+	for _, x := range xs {
+		a.Add(float64(x))
+	}
+}
+
+// Sort sorts the retained samples now instead of at Summary/Merge time.
+// Sweep workers call it so each chunk is sorted in parallel and the
+// final merges are pure linear passes.
+func (a *Accumulator) Sort() {
+	if a.unsorted {
+		sort.Float64s(a.samples)
+		a.unsorted = false
+	}
+}
+
+// Merge folds b into a. b is left untouched apart from having its
+// samples sorted. Merging is exact: the result is identical (up to
+// float rounding of the moment merge) to accumulating all samples into
+// one accumulator, and deterministic for a fixed merge order.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b == nil || b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		b.Sort()
+		a.n, a.min, a.max, a.mean, a.m2 = b.n, b.min, b.max, b.mean, b.m2
+		a.samples = append(a.samples[:0], b.samples...)
+		a.unsorted = false
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	// Chan et al. parallel moments.
+	na, nb := float64(a.n), float64(b.n)
+	d := b.mean - a.mean
+	tot := na + nb
+	a.m2 += b.m2 + d*d*na*nb/tot
+	a.mean += d * nb / tot
+	a.n += b.n
+	a.Sort()
+	b.Sort()
+	a.samples = mergeSorted(a.samples, b.samples)
+}
+
+// mergeSorted merges two sorted runs in one linear pass.
+func mergeSorted(x, y []float64) []float64 {
+	out := make([]float64, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			out = append(out, x[i])
+			i++
+		} else {
+			out = append(out, y[j])
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	return append(out, y[j:]...)
+}
+
+// Summary reduces the accumulator to a Summary. Quantiles are exact
+// (computed from the retained, sorted samples).
+func (a *Accumulator) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	a.Sort()
+	return Summary{
+		N:      a.n,
+		Min:    a.min,
+		Max:    a.max,
+		Mean:   a.mean,
+		Stddev: math.Sqrt(a.m2 / float64(a.n)),
+		P50:    Quantile(a.samples, 0.50),
+		P95:    Quantile(a.samples, 0.95),
+		P99:    Quantile(a.samples, 0.99),
+	}
+}
+
+// Merge combines two Summaries without access to the underlying samples.
+// N, Min, Max, Mean and Stddev are exact (recovered via moments); the
+// quantiles are *approximated* as N-weighted means of the inputs'
+// quantiles, which is only faithful when the two sample sets are drawn
+// from similar distributions. When the samples are available, prefer
+// Accumulator.Merge, which is exact.
+func Merge(a, b Summary) Summary {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	na, nb := float64(a.N), float64(b.N)
+	tot := na + nb
+	d := b.Mean - a.Mean
+	m2 := na*a.Stddev*a.Stddev + nb*b.Stddev*b.Stddev + d*d*na*nb/tot
+	wq := func(x, y float64) float64 { return (x*na + y*nb) / tot }
+	return Summary{
+		N:      a.N + b.N,
+		Min:    math.Min(a.Min, b.Min),
+		Max:    math.Max(a.Max, b.Max),
+		Mean:   a.Mean + d*nb/tot,
+		Stddev: math.Sqrt(m2 / tot),
+		P50:    wq(a.P50, b.P50),
+		P95:    wq(a.P95, b.P95),
+		P99:    wq(a.P99, b.P99),
+	}
+}

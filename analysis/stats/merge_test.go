@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]uint64, 1000)
+	for i := range xs {
+		xs[i] = uint64(rng.Intn(10_000))
+	}
+	acc := NewAccumulator()
+	acc.AddSamples(xs)
+	got, want := acc.Summary(), Summarize(xs)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("n/min/max: got %+v want %+v", got, want)
+	}
+	// Quantiles are exact (same sorted data, same interpolation).
+	if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+		t.Errorf("quantiles: got %+v want %+v", got, want)
+	}
+	// Moments agree up to float rounding (Welford vs sum/n).
+	if !approx(got.Mean, want.Mean, 1e-9) || !approx(got.Stddev, want.Stddev, 1e-9) {
+		t.Errorf("moments: got mean=%v sd=%v want mean=%v sd=%v",
+			got.Mean, got.Stddev, want.Mean, want.Stddev)
+	}
+}
+
+// Accumulators merged chunk-by-chunk must agree with one accumulator
+// over the concatenation — the property parallel sweep workers rely on.
+func TestAccumulatorMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	all := make([]uint64, 0, 900)
+	merged := NewAccumulator()
+	for chunk := 0; chunk < 9; chunk++ {
+		part := NewAccumulator()
+		for i := 0; i < 100; i++ {
+			x := uint64(rng.Intn(5_000))
+			all = append(all, x)
+			part.Add(float64(x))
+		}
+		merged.Merge(part)
+	}
+	got, want := merged.Summary(), Summarize(all)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max ||
+		got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+		t.Fatalf("merged summary %+v != direct %+v", got, want)
+	}
+	if !approx(got.Mean, want.Mean, 1e-9) || !approx(got.Stddev, want.Stddev, 1e-6) {
+		t.Errorf("merged moments: got mean=%v sd=%v want mean=%v sd=%v",
+			got.Mean, got.Stddev, want.Mean, want.Stddev)
+	}
+}
+
+func TestAccumulatorMergeEdge(t *testing.T) {
+	empty := NewAccumulator()
+	if got := empty.Summary(); got.N != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+	a := NewAccumulator()
+	a.Merge(nil)
+	a.Merge(NewAccumulator())
+	if a.N() != 0 {
+		t.Errorf("merging empties produced n=%d", a.N())
+	}
+	b := NewAccumulator()
+	b.AddSamples([]uint64{3, 1, 2})
+	a.Merge(b) // empty.Merge(nonempty) must copy, not share
+	b.Add(100)
+	if a.N() != 3 || a.Summary().Max != 3 {
+		t.Errorf("merge-into-empty aliased: %+v", a.Summary())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	xa := []uint64{1, 2, 3, 4, 5}
+	xb := []uint64{10, 20, 30}
+	m := Merge(Summarize(xa), Summarize(xb))
+	want := Summarize(append(append([]uint64{}, xa...), xb...))
+	if m.N != want.N || m.Min != want.Min || m.Max != want.Max {
+		t.Fatalf("merge n/min/max %+v want %+v", m, want)
+	}
+	if !approx(m.Mean, want.Mean, 1e-9) || !approx(m.Stddev, want.Stddev, 1e-9) {
+		t.Errorf("merge moments %+v want %+v", m, want)
+	}
+	// Identity cases.
+	if got := Merge(Summary{}, Summarize(xa)); got != Summarize(xa) {
+		t.Errorf("merge with empty lhs = %+v", got)
+	}
+	if got := Merge(Summarize(xa), Summary{}); got != Summarize(xa) {
+		t.Errorf("merge with empty rhs = %+v", got)
+	}
+}

@@ -55,7 +55,16 @@ func Summarize(xs []uint64) Summary {
 
 // Quantile returns the q-quantile (0..1) of sorted data by linear
 // interpolation.
+//
+// Precondition: the input MUST be sorted ascending — the function
+// indexes into it positionally and silently returns garbage otherwise.
+// Debug builds (`-tags statsdebug`) verify the precondition and panic
+// on unsorted input; release builds skip the O(n) check on this hot
+// path.
 func Quantile(sorted []float64, q float64) float64 {
+	if debugChecks && !sort.Float64sAreSorted(sorted) {
+		panic("stats: Quantile called with unsorted input")
+	}
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -104,10 +113,13 @@ type Histogram struct {
 	Over       int // samples above Max
 }
 
-// NewHistogram builds a histogram of xs with the given bucket count.
-func NewHistogram(xs []uint64, min, max uint64, buckets int) *Histogram {
+// NewHistogram builds a histogram of xs with the given bucket count. It
+// returns an error (not a panic) on a degenerate spec — sweep workers
+// feed it computed ranges, and one bad trial must not take down the
+// whole run.
+func NewHistogram(xs []uint64, min, max uint64, buckets int) (*Histogram, error) {
 	if buckets <= 0 || max <= min {
-		panic(fmt.Sprintf("stats: bad histogram spec [%d,%d)/%d", min, max, buckets))
+		return nil, fmt.Errorf("stats: bad histogram spec [%d,%d)/%d buckets", min, max, buckets)
 	}
 	size := (max - min + uint64(buckets) - 1) / uint64(buckets)
 	if size == 0 {
@@ -124,7 +136,7 @@ func NewHistogram(xs []uint64, min, max uint64, buckets int) *Histogram {
 			h.Counts[(x-min)/size]++
 		}
 	}
-	return h
+	return h, nil
 }
 
 // Render draws the histogram as ASCII rows of at most width characters.
@@ -141,7 +153,9 @@ func (h *Histogram) Render(width int) string {
 	var sb strings.Builder
 	for i, c := range h.Counts {
 		lo := h.Min + uint64(i)*h.BucketSize
-		bar := strings.Repeat("#", c*width/peak)
+		// 64-bit intermediate: c*width overflows int32-sized products
+		// for very large trial counts.
+		bar := strings.Repeat("#", int(int64(c)*int64(width)/int64(peak)))
 		fmt.Fprintf(&sb, "%8d-%-8d %6d %s\n", lo, lo+h.BucketSize-1, c, bar)
 	}
 	if h.Under > 0 {

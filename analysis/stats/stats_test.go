@@ -57,7 +57,10 @@ func TestCountAbove(t *testing.T) {
 
 func TestHistogram(t *testing.T) {
 	xs := []uint64{0, 5, 10, 15, 95, 100, 200}
-	h := NewHistogram(xs, 0, 100, 10)
+	h, err := NewHistogram(xs, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[9] != 1 {
 		t.Errorf("counts = %v", h.Counts)
 	}
@@ -70,13 +73,39 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestHistogramBadSpecPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("bad spec accepted")
+func TestHistogramBadSpec(t *testing.T) {
+	for _, tc := range []struct {
+		min, max uint64
+		buckets  int
+	}{
+		{10, 10, 5},  // empty range
+		{20, 10, 5},  // inverted range
+		{0, 100, 0},  // no buckets
+		{0, 100, -3}, // negative buckets
+	} {
+		if _, err := NewHistogram(nil, tc.min, tc.max, tc.buckets); err == nil {
+			t.Errorf("spec [%d,%d)/%d accepted", tc.min, tc.max, tc.buckets)
 		}
-	}()
-	NewHistogram(nil, 10, 10, 5)
+	}
+}
+
+// Render's bar width must not overflow 32-bit intermediates when counts
+// are in the billions (very large sweeps).
+func TestHistogramRenderHugeCounts(t *testing.T) {
+	h, err := NewHistogram(nil, 0, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Counts[0] = 2_100_000_000 // > MaxInt32/2: c*width overflows int32
+	h.Counts[1] = 1_050_000_000
+	out := h.Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if got := strings.Count(lines[0], "#"); got != 40 {
+		t.Errorf("peak bar = %d chars, want 40", got)
+	}
+	if got := strings.Count(lines[1], "#"); got != 20 {
+		t.Errorf("half bar = %d chars, want 20", got)
+	}
 }
 
 // Property: quantiles are monotone in q.

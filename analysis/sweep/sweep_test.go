@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"microscope/analysis/stats"
+)
+
+// trialOutput is a deliberately rich result type: scalars, slices, and
+// derived randomness, so byte-comparison is meaningful.
+type trialOutput struct {
+	Trial   int
+	Samples []uint64
+	Sum     uint64
+}
+
+func makeTrial(base int64) Trial[trialOutput] {
+	return func(trial int) (trialOutput, error) {
+		rng := rand.New(rand.NewSource(SeedFor(base, trial)))
+		out := trialOutput{Trial: trial}
+		for i := 0; i < 64; i++ {
+			x := uint64(rng.Intn(100_000))
+			out.Samples = append(out.Samples, x)
+			out.Sum += x
+		}
+		return out, nil
+	}
+}
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The headline guarantee: for any worker count, the sweep's output is
+// byte-identical to the serial (workers=1) run.
+func TestWorkerCountInvariance(t *testing.T) {
+	const n = 37
+	serial, err := Run(n, Options{Workers: 1}, makeTrial(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := encode(t, serial)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got, err := Run(n, Options{Workers: workers}, makeTrial(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encode(t, got), ref) {
+			t.Errorf("workers=%d: results differ from serial run", workers)
+		}
+	}
+}
+
+func TestRunOrderAndCompleteness(t *testing.T) {
+	out, err := Run(100, Options{Workers: 8}, func(trial int) (int, error) {
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d (results out of order)", i, v, i*i)
+		}
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	out, err := Run(0, Options{}, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero-trial sweep: %v, %v", out, err)
+	}
+}
+
+// Error propagation: the reported error is the lowest failing trial's,
+// for every worker count, and surviving trials still complete.
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	trial := func(i int) (int, error) {
+		if i == 7 || i == 13 {
+			return 0, fmt.Errorf("trial %d: %w", i, boom)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4, 16} {
+		out, err := Run(20, Options{Workers: workers}, trial)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		var te *TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: error %T is not *TrialError", workers, err)
+		}
+		if te.Trial != 7 {
+			t.Errorf("workers=%d: reported trial %d, want 7 (lowest failing)", workers, te.Trial)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: cause not preserved: %v", workers, err)
+		}
+		if out[6] != 6 || out[19] != 19 {
+			t.Errorf("workers=%d: surviving trials incomplete: %v", workers, out)
+		}
+		if out[7] != 0 {
+			t.Errorf("workers=%d: failed trial slot = %d, want zero value", workers, out[7])
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Error("non-positive worker counts must normalize to >= 1")
+	}
+	if Workers(3) != 3 {
+		t.Error("positive worker counts must pass through")
+	}
+}
+
+func TestSeedFor(t *testing.T) {
+	if SeedFor(100, 0) != 100 || SeedFor(100, 7) != 107 {
+		t.Error("SeedFor must be base + trial")
+	}
+}
+
+// RunSamples must produce the same summary as serially summarizing the
+// concatenation, for any worker count.
+func TestRunSamplesInvariance(t *testing.T) {
+	gen := func(trial int) ([]uint64, error) {
+		rng := rand.New(rand.NewSource(SeedFor(5, trial)))
+		xs := make([]uint64, 200)
+		for i := range xs {
+			xs[i] = uint64(rng.Intn(1_000))
+		}
+		return xs, nil
+	}
+	var all []uint64
+	for i := 0; i < 10; i++ {
+		xs, _ := gen(i)
+		all = append(all, xs...)
+	}
+	want := stats.Summarize(all)
+	for _, workers := range []int{1, 4} {
+		acc, err := RunSamples(10, Options{Workers: workers}, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := acc.Summary()
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max ||
+			got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+			t.Errorf("workers=%d: summary %+v != %+v", workers, got, want)
+		}
+	}
+	if _, err := RunSamples(3, Options{}, func(i int) ([]uint64, error) {
+		if i == 1 {
+			return nil, errors.New("bad trial")
+		}
+		return []uint64{1}, nil
+	}); err == nil {
+		t.Error("RunSamples swallowed a trial error")
+	}
+}

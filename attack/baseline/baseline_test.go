@@ -56,7 +56,7 @@ func TestPrimeProbeNeedsManyTracesAndLacksResolution(t *testing.T) {
 	}
 	key := []byte("0123456789abcdef")
 	pt := []byte("attack at dawn!!")
-	res, err := RunPrimeProbe(key, pt, 0.20, 200, 42)
+	res, err := RunPrimeProbe(key, pt, 0.20, 200, 42, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestPrimeProbeNeedsManyTracesAndLacksResolution(t *testing.T) {
 func TestPrimeProbeNoiselessConvergesImmediately(t *testing.T) {
 	key := []byte("0123456789abcdef")
 	pt := []byte("attack at dawn!!")
-	res, err := RunPrimeProbe(key, pt, 0, 25, 1)
+	res, err := RunPrimeProbe(key, pt, 0, 25, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

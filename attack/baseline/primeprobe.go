@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"microscope/analysis/sweep"
 	"microscope/attack/victim"
 	"microscope/crypto/taes"
 	"microscope/sim/cache"
@@ -39,7 +40,14 @@ type PrimeProbeResult struct {
 // victim runs once per trace, so each trace needs a fresh victim run,
 // which the threat model forbids for run-once applications), probe, and
 // apply measurement noise with the given per-line flip probability.
-func RunPrimeProbe(key, plaintext []byte, flipProb float64, maxTraces int, seed int64) (*PrimeProbeResult, error) {
+//
+// Each trace derives its own noise stream from seed + traceIndex (a
+// *rand.Rand is not goroutine-safe, and a shared stream would make the
+// result depend on scheduling), so the traces are independent and the
+// collection runs as a parallel sweep over `workers` goroutines (<= 0
+// selects GOMAXPROCS) with output identical to the serial run. The
+// majority vote is then folded in trace order.
+func RunPrimeProbe(key, plaintext []byte, flipProb float64, maxTraces int, seed int64, workers int) (*PrimeProbeResult, error) {
 	c, err := taes.NewCipher(key)
 	if err != nil {
 		return nil, err
@@ -52,8 +60,8 @@ func RunPrimeProbe(key, plaintext []byte, flipProb float64, maxTraces int, seed 
 	lines := taes.AccessedLines(c.DecryptTrace(out, ct))
 	res := &PrimeProbeResult{UnionTruth: lines[1]}
 
-	rng := rand.New(rand.NewSource(seed))
-	oneTrace := func() (uint16, error) {
+	oneTrace := func(trace int) (uint16, error) {
+		rng := rand.New(rand.NewSource(sweep.SeedFor(seed, trace)))
 		phys := mem.NewPhysMem(64 << 20)
 		core := cpu.NewCore(cpu.DefaultConfig(), phys)
 		k := kernel.New(kernel.DefaultConfig(), phys, core)
@@ -101,14 +109,17 @@ func RunPrimeProbe(key, plaintext []byte, flipProb float64, maxTraces int, seed 
 		return mask, nil
 	}
 
-	first, err := oneTrace()
+	// Collect all traces over the worker pool; each is an independent
+	// victim run on its own simulated platform.
+	masks, err := sweep.Run(maxTraces, sweep.Options{Workers: workers}, oneTrace)
 	if err != nil {
 		return nil, err
 	}
-	res.SingleRunObserved = first
+	res.SingleRunObserved = masks[0]
 
-	// Majority vote across traces; report when the estimate becomes and
-	// stays correct for a stretch (stability proxy for 99% confidence).
+	// Majority vote across traces, folded in trace order; report when the
+	// estimate becomes and stays correct for a stretch (stability proxy
+	// for 99% confidence).
 	votes := make([]int, taes.LinesPerTable)
 	total := 0
 	stable := 0
@@ -130,12 +141,8 @@ func RunPrimeProbe(key, plaintext []byte, flipProb float64, maxTraces int, seed 
 		}
 		return m
 	}
-	apply(first)
-	for total < maxTraces {
-		mask, err := oneTrace()
-		if err != nil {
-			return nil, err
-		}
+	apply(masks[0])
+	for _, mask := range masks[1:] {
 		apply(mask)
 		if estimate() == res.UnionTruth {
 			stable++

@@ -31,6 +31,22 @@ func DefaultAESConfig() AESConfig {
 	}
 }
 
+// TrialPlaintext derives the deterministic one-block plaintext for sweep
+// trial i (a splitmix/xorshift stream keyed by the index alone), so
+// multi-trial sweeps are reproducible for any worker count without
+// sharing a *rand.Rand across goroutines.
+func TrialPlaintext(trial int) []byte {
+	pt := make([]byte, taes.BlockSize)
+	x := uint64(trial)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for i := range pt {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		pt[i] = byte(x >> 32)
+	}
+	return pt
+}
+
 // aesRig bundles the platform with the AES victim and its probe lists.
 type aesRig struct {
 	*Rig

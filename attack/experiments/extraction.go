@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"microscope/analysis/sweep"
 	"microscope/attack/microscope"
 	"microscope/crypto/taes"
 	"microscope/sim/mem"
@@ -199,6 +200,20 @@ func RunAESExtraction(cfg AESConfig) (*ExtractionResult, error) {
 	}
 	res.PlaintextOK = bytes.Equal(pt, cfg.Plaintext)
 	return res, nil
+}
+
+// RunAESExtractionSweep mounts one full §6.2 extraction per plaintext,
+// fanned out over the sweep worker pool. Every trial assembles its own
+// Rig/PhysMem/Core, so trials share no state; the returned slice is
+// ordered by trial index and byte-identical to a serial run for any
+// worker count (<= 0 selects GOMAXPROCS).
+func RunAESExtractionSweep(cfg AESConfig, plaintexts [][]byte, workers int) ([]*ExtractionResult, error) {
+	return sweep.Run(len(plaintexts), sweep.Options{Workers: workers},
+		func(trial int) (*ExtractionResult, error) {
+			c := cfg
+			c.Plaintext = plaintexts[trial]
+			return RunAESExtraction(c)
+		})
 }
 
 // LinesOf expands a line mask into indices (reporting helper).

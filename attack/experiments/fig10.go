@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"microscope/analysis/sidechan"
+	"microscope/analysis/stats"
+	"microscope/analysis/sweep"
 	"microscope/attack/microscope"
 	"microscope/attack/monitor"
 	"microscope/attack/victim"
@@ -32,6 +35,12 @@ type Fig10Config struct {
 	// gives the paper's quiet distribution its 4-of-10,000 outliers.
 	JitterPeriod int
 	JitterExtra  int
+	// Workers bounds the goroutines used to run independent simulations
+	// (the two victim sides, and the trials of RunFig10Sweep) in
+	// parallel. <= 0 selects runtime.GOMAXPROCS. The worker count never
+	// changes results — each side/trial owns its whole simulated
+	// platform — only wall-clock time.
+	Workers int
 }
 
 // DefaultFig10Config matches the paper's measurement count.
@@ -76,16 +85,22 @@ func RunFig10(cfg Fig10Config) (*Fig10Result, error) {
 }
 
 // RunFig10WithCore is RunFig10 with a core-configuration override applied
-// to both sides (used by the ablation benches).
+// to both sides (used by the ablation benches). The two sides are fully
+// independent simulations (each builds its own Rig), so they run as a
+// two-trial sweep; the result is identical to running them back to back.
 func RunFig10WithCore(cfg Fig10Config, tweak func(*cpu.Config)) (*Fig10Result, error) {
-	mul, err := runFig10Side(cfg, false, tweak)
+	sides, err := sweep.Run(2, sweep.Options{Workers: cfg.Workers},
+		func(trial int) (Fig10Side, error) {
+			return runFig10Side(cfg, trial == 1, tweak)
+		})
 	if err != nil {
-		return nil, fmt.Errorf("mul side: %w", err)
+		var te *sweep.TrialError
+		if errors.As(err, &te) {
+			return nil, fmt.Errorf("%s side: %w", [2]string{"mul", "div"}[te.Trial], te.Err)
+		}
+		return nil, err
 	}
-	div, err := runFig10Side(cfg, true, tweak)
-	if err != nil {
-		return nil, fmt.Errorf("div side: %w", err)
-	}
+	mul, div := sides[0], sides[1]
 	res := &Fig10Result{Config: cfg, Mul: mul, Div: div}
 	res.Threshold = sidechan.CalibrateThreshold(mul.Samples, cfg.Quantile, cfg.Guard)
 	res.MulOver = sidechan.Classify(mul.Samples, res.Threshold).Over
@@ -158,4 +173,54 @@ func runFig10Side(cfg Fig10Config, secret bool, tweak func(*cpu.Config)) (Fig10S
 		Replays: rec.Replays(),
 		Cycles:  rig.Core.Cycle() - start,
 	}, nil
+}
+
+// Fig10SweepResult aggregates a many-trial repetition of the Fig. 10
+// experiment (a LEASH-style detection study needs exactly this kind of
+// cheap repeated-trial sweep).
+type Fig10SweepResult struct {
+	Trials []*Fig10Result
+	// Detected counts trials whose separation revealed the secret.
+	Detected int
+	// Mul/Div are the monitor-latency summaries merged across every
+	// trial's samples (exact, accumulator-based — no re-sort of the
+	// union).
+	Mul, Div stats.Summary
+	// Separation summarizes the per-trial separation factors.
+	Separation stats.Summary
+}
+
+// RunFig10Sweep runs the full two-sided Fig. 10 experiment `trials`
+// times over the worker pool. Each trial is a complete, independent
+// simulation; the ambient-jitter phase is varied deterministically per
+// trial (the simulated analogue of re-running the experiment on a live
+// machine), so the sweep measures the attack's robustness to platform
+// noise. Results are ordered by trial index and identical for any
+// cfg.Workers value.
+func RunFig10Sweep(cfg Fig10Config, trials int) (*Fig10SweepResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: fig10 sweep needs trials > 0, got %d", trials)
+	}
+	results, err := sweep.Run(trials, sweep.Options{Workers: cfg.Workers},
+		func(trial int) (*Fig10Result, error) {
+			c := cfg
+			c.Workers = 1 // the trial is the unit of parallelism
+			c.JitterPeriod = cfg.JitterPeriod + 17*trial
+			return RunFig10(c)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10SweepResult{Trials: results}
+	mul, div, sep := stats.NewAccumulator(), stats.NewAccumulator(), stats.NewAccumulator()
+	for _, r := range results {
+		if r.SecretDetected() {
+			res.Detected++
+		}
+		mul.AddSamples(r.Mul.Samples)
+		div.AddSamples(r.Div.Samples)
+		sep.Add(r.SeparationX)
+	}
+	res.Mul, res.Div, res.Separation = mul.Summary(), div.Summary(), sep.Summary()
+	return res, nil
 }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math/bits"
+
+	"microscope/analysis/sweep"
+	"microscope/crypto/taes"
+)
+
+// KeySweepResult is the outcome of the first-round key-byte recovery
+// sweep: the classic T-table candidate-elimination attack (Osvik-
+// Shamir-Tromer style) driven by MicroScope's noiseless per-round line
+// masks instead of noisy whole-run probes.
+//
+// Round 1 of the decryption indexes table t with byte t of state word w,
+// and state word w is ct[4w..4w+3] XOR dec-round-key word w — so the
+// observed line (index high nibble) of each access is
+// highnib(ct[4w+t]) XOR highnib(keybyte). Key byte b = 4w+t therefore
+// leaks its high nibble once enough trials (distinct ciphertexts) have
+// eliminated the other 15 candidates. A 64-byte cache line spans 16
+// table entries, so the low nibble is architecturally invisible to a
+// line-granular channel — 4 bits per key byte, 64 bits total, is the
+// full yield of this channel (§6.2 discusses the same granularity).
+type KeySweepResult struct {
+	Trials int
+	// Candidates[b] is the bitmask of surviving high-nibble candidates
+	// for decryption-round-key byte b (byte t of dec word w, b = 4w+t).
+	Candidates [16]uint16
+	// RecoveredHi[b] is the uniquely surviving high nibble, or -1 while
+	// more than one candidate remains.
+	RecoveredHi [16]int
+	// TruthHi[b] is the true high nibble from the key schedule.
+	TruthHi [16]int
+	// Faults is the total fault budget summed over all trials.
+	Faults int
+}
+
+// RecoveredExactly counts key bytes whose recovered nibble equals truth.
+func (k *KeySweepResult) RecoveredExactly() int {
+	n := 0
+	for b := 0; b < 16; b++ {
+		if k.RecoveredHi[b] >= 0 && k.RecoveredHi[b] == k.TruthHi[b] {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether all 16 key bytes narrowed to the truth.
+func (k *KeySweepResult) Complete() bool { return k.RecoveredExactly() == 16 }
+
+// RunAESKeyByteSweep recovers the high nibble of all 16 first-round
+// decryption key bytes. It is the package's heavy sweep workload: one
+// full §6.2 extraction per trial (each with its own deterministic
+// plaintext from TrialPlaintext), fanned out over `workers` goroutines,
+// followed by the 16 per-key-byte candidate eliminations — themselves
+// independent, so they run as a second (cheap) sweep. Results are
+// identical for any worker count.
+func RunAESKeyByteSweep(cfg AESConfig, trials, workers int) (*KeySweepResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: key sweep needs trials > 0, got %d", trials)
+	}
+	c, err := taes.NewCipher(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([][]byte, trials)
+	cts := make([][]byte, trials)
+	for i := range pts {
+		pts[i] = TrialPlaintext(i)
+		cts[i] = make([]byte, taes.BlockSize)
+		c.Encrypt(cts[i], pts[i])
+	}
+
+	// Phase 1 — the heavy part: one full extraction per ciphertext.
+	exts, err := RunAESExtractionSweep(cfg, pts, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &KeySweepResult{Trials: trials}
+	dec := c.DecKey()
+	for b := 0; b < 16; b++ {
+		w, t := b/4, b%4
+		res.TruthHi[b] = int(dec[w]>>(24-8*t)) >> 4 & 0xf
+	}
+
+	// Phase 2 — 16 independent candidate eliminations, one per key byte.
+	cands, err := sweep.Run(16, sweep.Options{Workers: workers},
+		func(b int) (uint16, error) {
+			t := b % 4 // table t reads byte t of each state word
+			alive := uint16(1<<16 - 1)
+			for trial := 0; trial < trials; trial++ {
+				mask := exts[trial].Extracted[1][t]
+				ctHi := int(cts[trial][b]) >> 4
+				var keep uint16
+				for hn := 0; hn < 16; hn++ {
+					// Candidate hn predicts the access lands on line
+					// ctHi^hn; it survives only if that line was observed.
+					if alive&(1<<uint(hn)) != 0 && mask&(1<<uint(ctHi^hn)) != 0 {
+						keep |= 1 << uint(hn)
+					}
+				}
+				alive = keep
+			}
+			return alive, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for b, alive := range cands {
+		res.Candidates[b] = alive
+		res.RecoveredHi[b] = -1
+		if alive != 0 && alive&(alive-1) == 0 {
+			res.RecoveredHi[b] = bits.TrailingZeros16(alive)
+		}
+	}
+	for _, e := range exts {
+		res.Faults += e.Faults
+	}
+	return res, nil
+}

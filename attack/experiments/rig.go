@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"microscope/attack/microscope"
 	"microscope/attack/victim"
@@ -67,12 +68,33 @@ func (r *Rig) AddMonitor(l *victim.Layout) error {
 }
 
 // Run steps the core until every loaded context halts or maxCycles pass,
-// returning an error on timeout.
+// returning an error on timeout. The timeout error reports the PC and
+// halt state of *every* loaded context: when the monitor context (SMT
+// context 1) is the one spinning, an error naming only the victim's PC
+// misdiagnoses the hang.
 func (r *Rig) Run(maxCycles uint64) error {
 	r.Core.Run(maxCycles)
 	if !r.Core.Halted() {
-		return fmt.Errorf("experiments: run exceeded %d cycles (victim pc=%d)",
-			maxCycles, r.Core.Context(0).PC())
+		var sb strings.Builder
+		for i := 0; i < r.Core.Contexts(); i++ {
+			ctx := r.Core.Context(i)
+			if ctx.Program() == nil {
+				continue
+			}
+			name := fmt.Sprintf("ctx%d", i)
+			switch {
+			case i == 0:
+				name = "victim"
+			case i == 1 && r.Monitor != nil:
+				name = "monitor"
+			}
+			state := "spinning"
+			if ctx.Halted() {
+				state = "halted"
+			}
+			fmt.Fprintf(&sb, "; %s %s at pc=%d", name, state, ctx.PC())
+		}
+		return fmt.Errorf("experiments: run exceeded %d cycles%s", maxCycles, sb.String())
 	}
 	return nil
 }

@@ -11,7 +11,10 @@
 package bench
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"microscope/analysis/sidechan"
 	"microscope/attack/baseline"
@@ -200,6 +203,75 @@ func BenchmarkSec62FullExtraction(b *testing.B) {
 	}
 	b.ReportMetric(float64(last.Faults), "faults")
 	b.ReportMetric(float64(last.Rounds), "rounds")
+}
+
+// BenchmarkSweepAESKeyExtraction measures the analysis/sweep worker pool
+// on the heaviest workload: the 8-trial first-round key-byte recovery
+// (one full §6.2 extraction per trial). It runs the identical sweep
+// serially (workers=1) and in parallel (workers=GOMAXPROCS), verifies
+// the results are equal — the sweep determinism guarantee — and reports
+// both wall-clock times plus the speedup, so the parallel-vs-serial
+// trajectory lands in the bench history. On a single-core runner the
+// speedup metric sits near 1x by construction.
+func BenchmarkSweepAESKeyExtraction(b *testing.B) {
+	cfg := experiments.DefaultAESConfig()
+	const trials = 8
+	var serialNs, parallelNs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		serial, err := experiments.RunAESKeyByteSweep(cfg, trials, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialNs = float64(time.Since(start).Nanoseconds())
+		start = time.Now()
+		parallel, err := experiments.RunAESKeyByteSweep(cfg, trials, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelNs = float64(time.Since(start).Nanoseconds())
+		if !reflect.DeepEqual(serial, parallel) {
+			b.Fatal("parallel sweep diverged from serial run")
+		}
+		if !parallel.Complete() {
+			b.Fatal("key-byte recovery incomplete")
+		}
+	}
+	b.ReportMetric(serialNs, "serial-ns")
+	b.ReportMetric(parallelNs, "parallel-ns")
+	b.ReportMetric(serialNs/parallelNs, "sweep-speedup-x")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkSweepFig10Trials measures the repeated-trial Fig. 10 sweep
+// (the LEASH-style detection-study workload) serial vs parallel.
+func BenchmarkSweepFig10Trials(b *testing.B) {
+	cfg := experiments.DefaultFig10Config()
+	cfg.Samples = 1000
+	const trials = 4
+	var serialNs, parallelNs float64
+	for i := 0; i < b.N; i++ {
+		cfg.Workers = 1
+		start := time.Now()
+		serial, err := experiments.RunFig10Sweep(cfg, trials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialNs = float64(time.Since(start).Nanoseconds())
+		cfg.Workers = 0
+		start = time.Now()
+		parallel, err := experiments.RunFig10Sweep(cfg, trials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelNs = float64(time.Since(start).Nanoseconds())
+		if serial.Detected != parallel.Detected || serial.Mul != parallel.Mul {
+			b.Fatal("parallel fig10 sweep diverged from serial run")
+		}
+	}
+	b.ReportMetric(serialNs, "serial-ns")
+	b.ReportMetric(parallelNs, "parallel-ns")
+	b.ReportMetric(serialNs/parallelNs, "sweep-speedup-x")
 }
 
 // BenchmarkFig12ReplayHandles runs the three generalized replay handles.
@@ -514,7 +586,7 @@ func BenchmarkBaselines(b *testing.B) {
 			b.Fatal(err)
 		}
 		pp, err := baseline.RunPrimeProbe(
-			[]byte("0123456789abcdef"), []byte("attack at dawn!!"), 0.2, 120, 7)
+			[]byte("0123456789abcdef"), []byte("attack at dawn!!"), 0.2, 120, 7, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

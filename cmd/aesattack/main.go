@@ -2,11 +2,18 @@
 // latency of each Td1 cache line after three replays of one decryption
 // round) and the full §6.2 extraction of every T-table access of a single
 // AES decryption, in one logical victim run.
+//
+// With -keysweep N the tool additionally mounts N independent full
+// extractions (one per deterministic trial plaintext) as a parallel
+// sweep and recovers the high nibble of all 16 first-round key bytes by
+// candidate elimination. -workers bounds the sweep goroutines; any
+// worker count produces identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"microscope/analysis/sidechan"
@@ -15,65 +22,141 @@ import (
 )
 
 func main() {
-	key := flag.String("key", "0123456789abcdef", "AES key (16/24/32 bytes)")
-	pt := flag.String("pt", "attack at dawn!!", "plaintext block (16 bytes)")
-	full := flag.Bool("full", true, "also run the full-trace extraction (§6.2)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := experiments.DefaultAESConfig()
-	cfg.Key = []byte(*key)
-	cfg.Plaintext = []byte(*pt)
+// options holds the parsed command line (separated from flag plumbing so
+// tests can exercise the parsing without running the attack).
+type options struct {
+	cfg      experiments.AESConfig
+	full     bool
+	keysweep int
+	workers  int
+}
 
-	fig11, err := experiments.RunFig11(cfg)
+// parseArgs parses argv into options. It returns flag.ErrHelp for -h.
+func parseArgs(argv []string, errw io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("aesattack", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	opt := &options{cfg: experiments.DefaultAESConfig()}
+	key := fs.String("key", string(opt.cfg.Key), "AES key (16/24/32 bytes)")
+	pt := fs.String("pt", string(opt.cfg.Plaintext), "plaintext block (16 bytes)")
+	fs.BoolVar(&opt.full, "full", true, "also run the full-trace extraction (§6.2)")
+	fs.IntVar(&opt.keysweep, "keysweep", 0,
+		"trials of the parallel first-round key-byte recovery sweep (0 = off)")
+	fs.IntVar(&opt.workers, "workers", 0,
+		"parallel sweep workers (<=0: GOMAXPROCS); results are identical for any value")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if opt.keysweep < 0 {
+		return nil, fmt.Errorf("-keysweep must be >= 0, got %d", opt.keysweep)
+	}
+	opt.cfg.Key = []byte(*key)
+	opt.cfg.Plaintext = []byte(*pt)
+	return opt, nil
+}
+
+func run(argv []string, out, errw io.Writer) int {
+	opt, err := parseArgs(argv, errw)
+	if err == flag.ErrHelp {
+		return 2
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aesattack:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "aesattack:", err)
+		return 2
 	}
 
-	fmt.Println("Figure 11 — latency of accesses to the Td1 table after each replay")
-	fmt.Println("(replay 0: unprimed; replays 1-2: cache primed before the replay)")
+	fig11, err := experiments.RunFig11(opt.cfg)
+	if err != nil {
+		fmt.Fprintln(errw, "aesattack:", err)
+		return 1
+	}
+
+	fmt.Fprintln(out, "Figure 11 — latency of accesses to the Td1 table after each replay")
+	fmt.Fprintln(out, "(replay 0: unprimed; replays 1-2: cache primed before the replay)")
 	bands := sidechan.DefaultCacheBands()
-	fmt.Printf("\n%-6s %10s %10s %10s\n", "line", "replay 0", "replay 1", "replay 2")
+	fmt.Fprintf(out, "\n%-6s %10s %10s %10s\n", "line", "replay 0", "replay 1", "replay 2")
 	for line := 0; line < taes.LinesPerTable; line++ {
-		fmt.Printf("%-6d", line)
+		fmt.Fprintf(out, "%-6d", line)
 		for rep := 0; rep < 3; rep++ {
 			lat := fig11.Latencies[rep][line]
 			_, name := bands.Band(lat)
-			fmt.Printf(" %5d %-4s", lat, name)
+			fmt.Fprintf(out, " %5d %-4s", lat, name)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	fmt.Printf("\nground-truth Td1 lines (round 1): %v\n", experiments.LinesOf(fig11.Truth))
-	fmt.Printf("extracted after replay 1:         %v\n", experiments.LinesOf(fig11.Extracted[0]))
-	fmt.Printf("extracted after replay 2:         %v\n", experiments.LinesOf(fig11.Extracted[1]))
-	fmt.Printf("replay 0 latency bands: %d; primed replays consistent and correct: %t\n",
+	fmt.Fprintf(out, "\nground-truth Td1 lines (round 1): %v\n", experiments.LinesOf(fig11.Truth))
+	fmt.Fprintf(out, "extracted after replay 1:         %v\n", experiments.LinesOf(fig11.Extracted[0]))
+	fmt.Fprintf(out, "extracted after replay 2:         %v\n", experiments.LinesOf(fig11.Extracted[1]))
+	fmt.Fprintf(out, "replay 0 latency bands: %d; primed replays consistent and correct: %t\n",
 		fig11.Replay0Bands, fig11.Consistent())
 
-	if !*full {
-		return
+	if opt.full {
+		if code := runFull(opt, out, errw); code != 0 {
+			return code
+		}
 	}
-	fmt.Println("\n§6.2 — full single-run extraction of all T-table accesses")
-	ext, err := experiments.RunAESExtraction(cfg)
+	if opt.keysweep > 0 {
+		if code := runKeySweep(opt, out, errw); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+func runFull(opt *options, out, errw io.Writer) int {
+	fmt.Fprintln(out, "\n§6.2 — full single-run extraction of all T-table accesses")
+	ext, err := experiments.RunAESExtraction(opt.cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aesattack:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "aesattack:", err)
+		return 1
 	}
 	for r := 1; r <= ext.Rounds; r++ {
 		if r == ext.Rounds {
-			fmt.Printf("round %2d: Td4 lines %v\n", r, experiments.LinesOf(ext.Extracted[r][4]))
+			fmt.Fprintf(out, "round %2d: Td4 lines %v\n", r, experiments.LinesOf(ext.Extracted[r][4]))
 			continue
 		}
-		fmt.Printf("round %2d:", r)
+		fmt.Fprintf(out, "round %2d:", r)
 		for t := 0; t < 4; t++ {
-			fmt.Printf(" Td%d%v", t, experiments.LinesOf(ext.Extracted[r][t]))
+			fmt.Fprintf(out, " Td%d%v", t, experiments.LinesOf(ext.Extracted[r][t]))
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	ok, diff := ext.Match()
-	fmt.Printf("\nfaults used: %d; plaintext intact: %t; extraction matches ground truth: %t\n",
+	fmt.Fprintf(out, "\nfaults used: %d; plaintext intact: %t; extraction matches ground truth: %t\n",
 		ext.Faults, ext.PlaintextOK, ok)
 	if !ok {
-		fmt.Println("first mismatch:", diff)
-		os.Exit(1)
+		fmt.Fprintln(out, "first mismatch:", diff)
+		return 1
 	}
+	return 0
+}
+
+func runKeySweep(opt *options, out, errw io.Writer) int {
+	fmt.Fprintf(out, "\nkey-byte sweep — %d parallel extractions (workers=%d)\n",
+		opt.keysweep, opt.workers)
+	ks, err := experiments.RunAESKeyByteSweep(opt.cfg, opt.keysweep, opt.workers)
+	if err != nil {
+		fmt.Fprintln(errw, "aesattack:", err)
+		return 1
+	}
+	fmt.Fprintln(out, "recovered high nibbles of the 16 first-round (dec) key bytes:")
+	for b := 0; b < 16; b++ {
+		got := "??"
+		if ks.RecoveredHi[b] >= 0 {
+			got = fmt.Sprintf(" %x", ks.RecoveredHi[b])
+		}
+		fmt.Fprintf(out, "byte %2d: recovered=%s truth=%x candidates=%016b\n",
+			b, got, ks.TruthHi[b], ks.Candidates[b])
+	}
+	fmt.Fprintf(out, "recovered %d/16 key-byte nibbles exactly; faults used: %d\n",
+		ks.RecoveredExactly(), ks.Faults)
+	if !ks.Complete() {
+		fmt.Fprintln(out, "(increase -keysweep trials to eliminate the remaining candidates)")
+	}
+	return 0
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The cmd/ tree's flag handling is exercised without mounting the heavy
+// attacks: parseArgs is pure argument plumbing.
+func TestParseArgsDefaults(t *testing.T) {
+	var errw bytes.Buffer
+	opt, err := parseArgs(nil, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(opt.cfg.Key) != "0123456789abcdef" || !opt.full ||
+		opt.keysweep != 0 || opt.workers != 0 {
+		t.Errorf("defaults = %+v", opt)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	var errw bytes.Buffer
+	opt, err := parseArgs([]string{
+		"-key", "fedcba9876543210", "-pt", "sixteen byte msg",
+		"-full=false", "-keysweep", "8", "-workers", "4",
+	}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(opt.cfg.Key) != "fedcba9876543210" ||
+		string(opt.cfg.Plaintext) != "sixteen byte msg" ||
+		opt.full || opt.keysweep != 8 || opt.workers != 4 {
+		t.Errorf("parsed = %+v", opt)
+	}
+}
+
+func TestParseArgsRejectsBadInput(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-nosuchflag"},
+		{"-keysweep", "notanumber"},
+		{"-keysweep", "-3"},
+		{"positional"},
+	} {
+		var errw bytes.Buffer
+		if _, err := parseArgs(argv, &errw); err == nil {
+			t.Errorf("argv %v accepted", argv)
+		}
+	}
+}
+
+// Bad flags must exit with a usage error (2) without running the attack.
+func TestRunBadFlagsExits2(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-bogus") {
+		t.Errorf("stderr does not name the bad flag: %q", errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("attack output produced despite flag error: %q", out.String())
+	}
+}
+
+// Smoke: the Fig. 11 path runs end to end through the CLI entry point.
+func TestRunFig11Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig. 11 simulation")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-full=false"}, &out, &errw); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "primed replays consistent and correct: true") {
+		t.Errorf("fig11 output missing consistency line:\n%s", out.String())
+	}
+}

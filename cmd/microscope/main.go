@@ -13,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -26,13 +27,24 @@ import (
 	"microscope/sim/cpu"
 )
 
+// workers bounds the goroutines of subcommands that fan independent
+// simulations out as parallel sweeps (currently `baselines`); any value
+// yields identical output.
+var workers = flag.Int("workers", 0,
+	"parallel sweep workers (<=0: GOMAXPROCS); results are identical for any value")
+
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = func() {
+		usage()
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch flag.Arg(0) {
 	case "table1":
 		fmt.Print(sidechan.FormatTable1(sidechan.Table1()))
 	case "table2":
@@ -63,7 +75,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -260,7 +272,7 @@ func runBaselines() error {
 	}
 	fmt.Printf("sneaky page monitoring [58]: page secret recovered=%t, victim saw faults=%t\n",
 		spm.PageSecretCorrect, spm.VictimObservedFault)
-	pp, err := baseline.RunPrimeProbe([]byte("0123456789abcdef"), []byte("attack at dawn!!"), 0.2, 150, 7)
+	pp, err := baseline.RunPrimeProbe([]byte("0123456789abcdef"), []byte("attack at dawn!!"), 0.2, 150, 7, *workers)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,11 @@
 // secret branch, once, with no loop — is replayed on a page-faulting
 // load. The output is the pair of latency distributions (Fig. 10a/10b)
 // and the over-threshold counts that reveal the secret.
+//
+// With -trials N > 1 the whole experiment repeats N times as a parallel
+// sweep (per-trial deterministic jitter phases), reporting the merged
+// distributions and the detection rate. -workers bounds the goroutines;
+// any worker count produces identical output.
 package main
 
 import (
@@ -23,8 +28,16 @@ func main() {
 	handler := flag.Uint64("handler", cfg.HandlerLatency, "replayer handler latency (cycles)")
 	flag.IntVar(&cfg.WalkLevels, "walk", cfg.WalkLevels, "page-table levels served from memory (1-4)")
 	hist := flag.Bool("hist", true, "print latency histograms")
+	trials := flag.Int("trials", 1, "independent repetitions of the full experiment")
+	flag.IntVar(&cfg.Workers, "workers", 0,
+		"parallel sweep workers (<=0: GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 	cfg.HandlerLatency = *handler
+
+	if *trials > 1 {
+		runSweep(cfg, *trials, *hist)
+		return
+	}
 
 	res, err := experiments.RunFig10(cfg)
 	if err != nil {
@@ -40,9 +53,9 @@ func main() {
 
 	if *hist {
 		fmt.Println("Fig. 10a — monitor latencies, victim executes two multiplies:")
-		fmt.Println(stats.NewHistogram(res.Mul.Samples, 0, 250, 25).Render(48))
+		printHist(res.Mul.Samples)
 		fmt.Println("Fig. 10b — monitor latencies, victim executes two divides:")
-		fmt.Println(stats.NewHistogram(res.Div.Samples, 0, 250, 25).Render(48))
+		printHist(res.Div.Samples)
 	}
 
 	fmt.Printf("contention threshold (calibrated on mul side): %d cycles\n", res.Threshold)
@@ -50,4 +63,41 @@ func main() {
 		res.MulOver, res.DivOver)
 	fmt.Printf("separation: %.1fx -> secret branch %s\n", res.SeparationX,
 		map[bool]string{true: "DETECTED (div side)", false: "not detected"}[res.SecretDetected()])
+}
+
+// runSweep repeats the experiment as a parallel sweep and prints the
+// merged picture.
+func runSweep(cfg experiments.Fig10Config, trials int, hist bool) {
+	res, err := experiments.RunFig10Sweep(cfg, trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "portsmash:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 10 sweep — %d trials × %d samples/side (workers=%d)\n\n",
+		trials, cfg.Samples, cfg.Workers)
+	fmt.Printf("merged mul side: %s\n", res.Mul)
+	fmt.Printf("merged div side: %s\n\n", res.Div)
+	if hist {
+		var all []uint64
+		for _, r := range res.Trials {
+			all = append(all, r.Div.Samples...)
+		}
+		fmt.Println("merged div-side latencies:")
+		printHist(all)
+	}
+	for i, r := range res.Trials {
+		fmt.Printf("trial %2d: threshold=%3d over mul/div=%3d/%3d separation=%5.1fx detected=%t\n",
+			i, r.Threshold, r.MulOver, r.DivOver, r.SeparationX, r.SecretDetected())
+	}
+	fmt.Printf("\nsecret detected in %d/%d trials; separation %s\n",
+		res.Detected, trials, res.Separation)
+}
+
+func printHist(xs []uint64) {
+	h, err := stats.NewHistogram(xs, 0, 250, 25)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "portsmash: histogram:", err)
+		return
+	}
+	fmt.Println(h.Render(48))
 }
