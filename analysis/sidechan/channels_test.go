@@ -1,0 +1,71 @@
+package sidechan
+
+import (
+	"testing"
+
+	"microscope/sim/isa"
+)
+
+// TestOpChannelTotal asserts the instruction-level taxonomy is total and
+// unambiguous: every defined isa.Op has exactly one explicitly declared
+// channel class, and that class is one of the declared constants. Adding
+// an op to the ISA without classifying it fails here.
+func TestOpChannelTotal(t *testing.T) {
+	for i := 0; i < isa.OpCount; i++ {
+		op := isa.Op(i)
+		if !op.Valid() {
+			t.Fatalf("op %d inside OpCount is not Valid()", i)
+		}
+		if !OpChannelDeclared(op) {
+			t.Errorf("op %s (%d) has no declared channel class", op, i)
+			continue
+		}
+		c := OpChannel(op)
+		if c < 0 || int(c) >= NumChannels {
+			t.Errorf("op %s maps to out-of-range channel %d", op, int(c))
+		}
+	}
+	// No stale entries for ops outside the ISA.
+	if len(opChannels) != isa.OpCount {
+		t.Errorf("taxonomy has %d entries, ISA has %d ops", len(opChannels), isa.OpCount)
+	}
+}
+
+// TestOpChannelConsistency pins the classification the attacks rely on.
+func TestOpChannelConsistency(t *testing.T) {
+	for i := 0; i < isa.OpCount; i++ {
+		op := isa.Op(i)
+		c := OpChannel(op)
+		if op.IsMem() && c != ChanCacheSet {
+			t.Errorf("memory op %s classified %s, want %s", op, c, ChanCacheSet)
+		}
+		if !op.IsMem() && c == ChanCacheSet {
+			t.Errorf("non-memory op %s classified %s", op, c)
+		}
+	}
+	if c := OpChannel(isa.OpDiv); c != ChanPort {
+		t.Errorf("div classified %s, want %s", c, ChanPort)
+	}
+	if c := OpChannel(isa.OpFDiv); c != ChanLatency {
+		t.Errorf("fdiv classified %s, want %s", c, ChanLatency)
+	}
+	if c := OpChannel(isa.OpRdrand); c != ChanRandom {
+		t.Errorf("rdrand classified %s, want %s", c, ChanRandom)
+	}
+}
+
+// TestChannelString ensures every declared class has a distinct label
+// (reports key findings by this string).
+func TestChannelString(t *testing.T) {
+	seen := map[string]Channel{}
+	for c := Channel(0); int(c) < NumChannels; c++ {
+		s := c.String()
+		if s == "" {
+			t.Errorf("channel %d has empty label", int(c))
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("channels %d and %d share label %q", int(prev), int(c), s)
+		}
+		seen[s] = c
+	}
+}

@@ -1,0 +1,169 @@
+package static
+
+import (
+	"fmt"
+
+	"microscope/sim/isa"
+)
+
+// Pass 1: control-flow graph construction and well-formedness.
+
+// Block is a basic block: instructions [Start, End) with no internal
+// control transfer, and Succs naming successor blocks.
+type Block struct {
+	Start, End int
+	Succs      []int
+}
+
+// CFG is the instruction- and block-level control-flow graph of a
+// program.
+type CFG struct {
+	Prog *isa.Program
+	// Blocks in ascending Start order; Blocks[0].Start == 0.
+	Blocks []Block
+	// BlockOf maps an instruction index to its block index.
+	BlockOf []int
+	// txTargets are the abort-handler targets of every OpTxBegin, the
+	// over-approximated successor set of OpTxAbort.
+	txTargets []int
+}
+
+// InstrSuccs returns the instruction-level successors of index i.
+// OpTxAbort is over-approximated as jumping to any txbegin abort handler
+// in the program.
+func (g *CFG) InstrSuccs(i int) []int {
+	return instrSuccs(g.Prog, i, g.txTargets)
+}
+
+func instrSuccs(p *isa.Program, i int, txTargets []int) []int {
+	in := p.Instrs[i]
+	switch {
+	case in.Op == isa.OpHalt:
+		return nil
+	case in.Op == isa.OpJmp:
+		return []int{in.Target}
+	case in.Op.IsCondBranch(), in.Op == isa.OpTxBegin:
+		if in.Target == i+1 {
+			return []int{i + 1}
+		}
+		return []int{i + 1, in.Target}
+	case in.Op == isa.OpTxAbort:
+		return txTargets
+	default:
+		return []int{i + 1}
+	}
+}
+
+// Validate checks that p is well formed for execution: every instruction
+// passes the ISA-level checks (defined opcode, register classes, in-range
+// targets), control cannot fall off the end of the program, and txabort
+// has an abort handler to roll back to. sim/cpu runs this at program
+// load, turning what used to be execute-time panics into descriptive
+// errors.
+func Validate(p *isa.Program) error {
+	if p == nil {
+		return fmt.Errorf("static: nil program")
+	}
+	if p.Len() == 0 {
+		return fmt.Errorf("static: empty program")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	txTargets := txBeginTargets(p)
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == isa.OpTxAbort && len(txTargets) == 0 {
+			return fmt.Errorf("static: instr %d (%s): txabort with no txbegin abort handler in program",
+				i, p.Instrs[i])
+		}
+		for _, s := range instrSuccs(p, i, txTargets) {
+			if s >= p.Len() {
+				return fmt.Errorf("static: instr %d (%s): control falls off the end of the program (missing halt or jmp)",
+					i, p.Instrs[i])
+			}
+		}
+	}
+	return nil
+}
+
+func txBeginTargets(p *isa.Program) []int {
+	var ts []int
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpTxBegin {
+			ts = append(ts, in.Target)
+		}
+	}
+	return ts
+}
+
+// BuildCFG validates p and partitions it into basic blocks.
+func BuildCFG(p *isa.Program) (*CFG, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	n := p.Len()
+	txTargets := txBeginTargets(p)
+
+	// Leaders: entry, every control-transfer target, and every
+	// instruction following a control transfer.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Instrs {
+		switch {
+		case in.Op.IsBranch(), in.Op == isa.OpTxBegin, in.Op == isa.OpTxAbort, in.Op == isa.OpHalt:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Op.IsBranch() || in.Op == isa.OpTxBegin {
+			leader[in.Target] = true
+		}
+	}
+	for _, t := range txTargets {
+		leader[t] = true
+	}
+
+	g := &CFG{Prog: p, BlockOf: make([]int, n), txTargets: txTargets}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, Block{Start: i})
+		}
+		g.BlockOf[i] = len(g.Blocks) - 1
+	}
+	for b := range g.Blocks {
+		if b+1 < len(g.Blocks) {
+			g.Blocks[b].End = g.Blocks[b+1].Start
+		} else {
+			g.Blocks[b].End = n
+		}
+		last := g.Blocks[b].End - 1
+		seen := map[int]bool{}
+		for _, s := range instrSuccs(p, last, txTargets) {
+			sb := g.BlockOf[s]
+			if !seen[sb] {
+				seen[sb] = true
+				g.Blocks[b].Succs = append(g.Blocks[b].Succs, sb)
+			}
+		}
+	}
+	return g, nil
+}
+
+// reachableFrom returns the instruction set reachable from start
+// (inclusive) by following instruction-level successors.
+func (g *CFG) reachableFrom(start int) []bool {
+	seen := make([]bool, g.Prog.Len())
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.InstrSuccs(i) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,157 @@
+package static
+
+import (
+	"fmt"
+
+	"microscope/analysis/sidechan"
+	"microscope/sim/isa"
+)
+
+// Pass 3: replay-handle identification and squash-shadow classification.
+//
+// A replay handle is an instruction whose address translation the OS
+// side of the attack can fault at will: any load/store whose address is
+// independent of secrets (the attacker must know which page to poke),
+// or a txbegin region (evicting its write set aborts and replays it,
+// §7.1). From each handle the analyzer walks the CFG forward up to the
+// ROB window; every instruction reachable within that many fetched
+// instructions sits in the handle's squash shadow and is replayed on
+// every fault. Shadowed instructions with a secret-dependent resource
+// footprint become findings.
+
+// isHandle reports whether instruction i can serve as a replay handle.
+func isHandle(p *isa.Program, i int, ti *taintInfo) bool {
+	in := p.Instrs[i]
+	switch {
+	case in.Op == isa.OpTxBegin:
+		return true
+	case in.Op.IsMem():
+		// A secret-dependent address is not attacker-predictable; such
+		// accesses are transmitters, not handles.
+		return !ti.in[i].tainted(in.Rs1)
+	}
+	return false
+}
+
+// shadow computes, per instruction, the nearest covering handle and its
+// distance in fetched instructions (1..window). dist[i] == 0 means no
+// handle covers i.
+func shadow(g *CFG, ti *taintInfo, window int) (handle, dist []int) {
+	n := g.Prog.Len()
+	handle, dist = make([]int, n), make([]int, n)
+	for h := 0; h < n; h++ {
+		if !ti.reached[h] || !isHandle(g.Prog, h, ti) {
+			continue
+		}
+		// BFS by instruction distance; a window can wrap around loop
+		// back-edges (the ROB holds several short iterations at once).
+		cur := g.InstrSuccs(h)
+		seen := make([]bool, n)
+		for d := 1; d <= window && len(cur) > 0; d++ {
+			var next []int
+			for _, i := range cur {
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				if dist[i] == 0 || d < dist[i] {
+					handle[i], dist[i] = h, d
+				}
+				next = append(next, g.InstrSuccs(i)...)
+			}
+			cur = next
+		}
+	}
+	return handle, dist
+}
+
+// classify decides whether shadowed instruction i leaks, and over which
+// channel. The channel labels follow the analysis/sidechan taxonomy and
+// mirror the dynamic attacks: cache-set (AES T-tables, §6.2), latency
+// (FP subnormal, Fig. 5), port contention (Fig. 6), random-replay
+// (RDRAND bias, §7.2).
+func classify(p *isa.Program, i int, ti *taintInfo) (sidechan.Channel, Severity, string, bool) {
+	in := p.Instrs[i]
+	st := ti.in[i]
+	ta, tb := st.tainted(in.Rs1), st.tainted(in.Rs2)
+	switch {
+	case in.Op == isa.OpRdrand && ti.cfg.TaintRdrand:
+		return sidechan.ChanRandom, SevHigh,
+			"RDRAND draw is re-executed on every replay: the attacker observes each value transiently and squashes until one suits (integrity bias)", true
+	case in.Op.IsMem() && ta:
+		return sidechan.ChanCacheSet, SevHigh,
+			"memory address derived from secret data selects a cache set the attacker probes", true
+	case in.Op == isa.OpFDiv && (ta || tb):
+		return sidechan.ChanLatency, SevHigh,
+			"FP divide on a secret-derived operand: the subnormal microcode assist leaks through latency", true
+	case in.Op == isa.OpDiv && (ta || tb):
+		return sidechan.ChanPort, SevMedium,
+			"integer divide on a secret-derived operand occupies the non-pipelined divider", true
+	case ti.ctrl[i]:
+		switch {
+		case in.Op == isa.OpDiv || in.Op == isa.OpFDiv:
+			return sidechan.ChanPort, SevMedium,
+				"divide executes on only one side of a secret-dependent branch; divider-port contention reveals the side", true
+		case in.Op.IsMem():
+			return sidechan.ChanCacheSet, SevMedium,
+				"memory access guarded by a secret-dependent branch; its cache footprint reveals the branch", true
+		case in.Op == isa.OpRdrand:
+			return sidechan.ChanRandom, SevMedium,
+				"RDRAND guarded by a secret-dependent branch", true
+		}
+	}
+	return sidechan.ChanNone, SevLow, "", false
+}
+
+// findings runs the shadow walk and classifier over the whole program.
+func findings(g *CFG, ti *taintInfo, cfg Config) []Finding {
+	handle, dist := shadow(g, ti, cfg.window())
+	var out []Finding
+	for i := range g.Prog.Instrs {
+		if dist[i] == 0 || !ti.reached[i] {
+			continue
+		}
+		ch, sev, reason, ok := classify(g.Prog, i, ti)
+		if !ok {
+			continue
+		}
+		h := handle[i]
+		out = append(out, Finding{
+			Index:       i,
+			Instr:       g.Prog.Instrs[i].String(),
+			Channel:     ch,
+			Severity:    sev,
+			Handle:      h,
+			HandleInstr: g.Prog.Instrs[h].String(),
+			Distance:    dist[i],
+			Reason:      reason,
+		})
+	}
+	return out
+}
+
+// Severity ranks a finding.
+type Severity int
+
+// Severity levels.
+const (
+	SevLow Severity = iota
+	SevMedium
+	SevHigh
+)
+
+// String returns the report label.
+func (s Severity) String() string {
+	switch s {
+	case SevLow:
+		return "low"
+	case SevMedium:
+		return "medium"
+	case SevHigh:
+		return "high"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalText renders the severity for JSON reports.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }

@@ -1,0 +1,258 @@
+package static
+
+import (
+	"testing"
+
+	"microscope/analysis/sidechan"
+	"microscope/sim/isa"
+)
+
+const secretPage = 0x4000_0000
+
+func analyzeSrc(t *testing.T, src string, sec Secrets) *Report {
+	t.Helper()
+	r, err := Analyze("test", mustAsm(t, src), sec, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func secretMem() Secrets {
+	return Secrets{Mems: []MemRange{{Lo: secretPage, Hi: secretPage + 4096}}}
+}
+
+// A load from declared secret memory taints the result; using it as an
+// address is a cache-set finding in the shadow of the handle load.
+func TestTaintSecretLoadToAddress(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x40000000   ; secret base
+		movi r2, 0x1000       ; public base
+		ld   r3, 0(r2)        ; replay handle (public)
+		ld   r4, 8(r1)        ; secret value
+		shli r4, r4, 6
+		add  r4, r4, r2
+		ld   r5, 0(r4)        ; transmit: secret-indexed
+		halt
+	`, secretMem())
+	fs := r.FindingsAt(6)
+	if len(fs) != 1 || fs[0].Channel != sidechan.ChanCacheSet || fs[0].Severity != SevHigh {
+		t.Fatalf("transmit findings = %+v", fs)
+	}
+	if fs[0].Handle != 2 && fs[0].Handle != 3 {
+		t.Errorf("handle = %d, want a preceding public load", fs[0].Handle)
+	}
+	// The secret load itself has an untainted address: no finding there.
+	if fs := r.FindingsAt(3); len(fs) != 0 {
+		t.Errorf("secret load flagged: %+v", fs)
+	}
+}
+
+// Constant folding must see through arithmetic: base built via shifted
+// adds still lands in the secret range.
+func TestConstantPropagationResolvesComputedBase(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x4000
+		shli r1, r1, 16      ; 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		ld   r3, 0(r1)       ; loads secret
+		add  r4, r3, r3
+		add  r4, r4, r2
+		ld   r5, 0(r4)       ; tainted address
+		halt
+	`, secretMem())
+	if fs := r.FindingsAt(7); len(fs) != 1 || fs[0].Channel != sidechan.ChanCacheSet {
+		t.Fatalf("computed-base transmit not flagged: %+v", r.Findings)
+	}
+}
+
+// Base-plus-unknown-offset (vBased) provenance: indexing into the secret
+// page with a runtime value still reads secret memory.
+func TestBasedProvenanceLoadsAreSecret(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		ld   r6, 8(r2)       ; runtime index (public)
+		shli r6, r6, 3
+		add  r6, r6, r1      ; &secret[i]
+		ld   r3, 0(r6)       ; loads secret (based address)
+		shli r3, r3, 6
+		add  r3, r3, r2
+		ld   r5, 0(r3)       ; transmit
+		halt
+	`, secretMem())
+	if fs := r.FindingsAt(9); len(fs) != 1 || fs[0].Channel != sidechan.ChanCacheSet {
+		t.Fatalf("based-provenance transmit not flagged: %+v", r.Findings)
+	}
+}
+
+// Implicit flow: a branch on secret data taints both arms' footprints
+// and the registers they write.
+func TestControlDependenceTaint(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		ld   r3, 0(r1)       ; secret
+		bne  r3, r0, one
+		mul  r4, r2, r2      ; arm 0
+		jmp  join
+	one:	fdiv f2, f0, f1   ; arm 1
+	join:	st   r4, 16(r2)
+		halt
+	`, secretMem())
+	if fs := r.FindingsAt(7); len(fs) != 1 || fs[0].Channel != sidechan.ChanPort {
+		t.Fatalf("guarded fdiv not flagged as port contention: %+v", r.Findings)
+	}
+	// The store at the join executes on both paths: not control-dependent.
+	if fs := r.FindingsAt(8); len(fs) != 0 {
+		t.Errorf("join store flagged: %+v", fs)
+	}
+	// r4 was written under the secret branch: storing it is fine
+	// (constant address), but using it as an address is not.
+	r2 := analyzeSrc(t, `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)
+		ld   r3, 0(r1)
+		beq  r3, r0, join
+		addi r4, r4, 64
+	join:	add  r5, r4, r2
+		ld   r6, 0(r5)       ; address depends on which arm ran
+		halt
+	`, secretMem())
+	if fs := r2.FindingsAt(7); len(fs) != 1 || fs[0].Channel != sidechan.ChanCacheSet {
+		t.Fatalf("implicitly-tainted address not flagged: %+v", r2.Findings)
+	}
+}
+
+// Secret-home registers stay tainted across writes (the modexp exponent
+// is materialized with movi).
+func TestSecretRegisterSticky(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r5, 0xb         ; secret exponent (immediate)
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		shri r6, r5, 1
+		andi r6, r6, 1
+		shli r6, r6, 6
+		add  r6, r6, r2
+		ld   r7, 0(r6)       ; transmit
+		halt
+	`, Secrets{Regs: []isa.Reg{isa.R5}})
+	if fs := r.FindingsAt(7); len(fs) != 1 || fs[0].Channel != sidechan.ChanCacheSet {
+		t.Fatalf("sticky-register transmit not flagged: %+v", r.Findings)
+	}
+}
+
+// Subnormal channel: FP divide on a secret-derived operand.
+func TestSubnormalLatencyChannel(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		fld  f0, 0(r1)       ; secret float
+		fdiv f2, f0, f1      ; transmit via latency
+		halt
+	`, secretMem())
+	if fs := r.FindingsAt(4); len(fs) != 1 || fs[0].Channel != sidechan.ChanLatency || fs[0].Severity != SevHigh {
+		t.Fatalf("fdiv latency not flagged: %+v", r.Findings)
+	}
+}
+
+// RDRAND in a squash shadow is a random-replay finding even with no
+// declared secrets.
+func TestRdrandFinding(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; handle
+		rdrand r4
+		st   r4, 8(r2)
+		halt
+	`, Secrets{})
+	if fs := r.FindingsAt(2); len(fs) != 1 || fs[0].Channel != sidechan.ChanRandom {
+		t.Fatalf("rdrand not flagged: %+v", r.Findings)
+	}
+	// With TaintRdrand off it is not reported.
+	cfg := DefaultConfig()
+	cfg.TaintRdrand = false
+	p := mustAsm(t, "movi r2, 0x1000\nld r9, 0(r2)\nrdrand r4\nst r4, 8(r2)\nhalt")
+	rep, err := Analyze("t", p, Secrets{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasFindings() {
+		t.Fatalf("TaintRdrand=false still reports: %+v", rep.Findings)
+	}
+}
+
+// The ROB window bounds the shadow: a transmit farther than ROBWindow
+// fetched instructions from every handle is unreachable by a replay.
+func TestWindowBoundsShadow(t *testing.T) {
+	src := `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)       ; the only handle
+		ld   r3, 0(r1)       ; secret
+		shli r3, r3, 6
+		add  r3, r3, r2
+`
+	for i := 0; i < 40; i++ {
+		src += "\t\tmovi r8, 1\n" // padding
+	}
+	src += `
+		ld   r5, 0(r3)       ; transmit at distance ~44
+		halt
+	`
+	p := mustAsm(t, src)
+	small := DefaultConfig()
+	small.ROBWindow = 8
+	r, err := Analyze("t", p, secretMem(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HasFindings() {
+		t.Fatalf("window 8 should not reach the transmit: %+v", r.Findings)
+	}
+	big := DefaultConfig()
+	big.ROBWindow = 64
+	r, err = Analyze("t", p, secretMem(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasFindings() {
+		t.Fatal("window 64 should reach the transmit")
+	}
+}
+
+// Report renderers are deterministic and well-formed.
+func TestReportRenderers(t *testing.T) {
+	r := analyzeSrc(t, `
+		movi r1, 0x40000000
+		movi r2, 0x1000
+		ld   r9, 0(r2)
+		ld   r3, 0(r1)
+		shli r3, r3, 6
+		add  r3, r3, r2
+		ld   r5, 0(r3)
+		halt
+	`, secretMem())
+	txt := r.Text()
+	if txt == "" || r.Text() != txt {
+		t.Fatal("text rendering unstable")
+	}
+	j1, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := r.JSON()
+	if string(j1) != string(j2) {
+		t.Fatal("JSON rendering unstable")
+	}
+	counts := r.ChannelCounts()
+	if counts[sidechan.ChanCacheSet] == 0 {
+		t.Fatalf("channel counts: %+v", counts)
+	}
+}

@@ -157,9 +157,10 @@ func NewAESVictim(key, ciphertext []byte) (*AESVictim, error) {
 	td4 := taes.Td4()
 
 	v.Layout = &Layout{
-		Name:  "aes",
-		Prog:  b.MustBuild(),
-		Marks: map[string]int{"stack": stackMark},
+		Name:          "aes",
+		Prog:          b.MustBuild(),
+		Marks:         map[string]int{"stack": stackMark},
+		SecretRegions: []string{"rk"},
 		Symbols: map[string]mem.Addr{
 			"in": AESInVA, "rk": AESRKVA, "out": AESOutVA, "stack": AESStackVA,
 			"td0": AESTd0VA, "td1": AESTd1VA, "td2": AESTd2VA,

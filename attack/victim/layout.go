@@ -40,6 +40,34 @@ type Layout struct {
 	Symbols map[string]mem.Addr
 	// Marks names instruction indices (transmit instruction, ...).
 	Marks map[string]int
+	// SecretRegions names the Regions that hold enclave secrets, and
+	// SecretRegs the registers that hold secrets at entry (e.g. an
+	// exponent materialized as an immediate). Together they are the
+	// taint-source declaration the static scanner (analysis/static,
+	// cmd/mscan) consumes.
+	SecretRegions []string
+	SecretRegs    []isa.Reg
+}
+
+// SecretMems returns the [lo, hi) virtual address ranges of the regions
+// named in SecretRegions, panicking on names that match no region (like
+// Sym, a miss is a programming error in the victim definition).
+func (l *Layout) SecretMems() [][2]uint64 {
+	var out [][2]uint64
+	for _, name := range l.SecretRegions {
+		found := false
+		for _, r := range l.Regions {
+			if r.Name == name {
+				out = append(out, [2]uint64{uint64(r.VA), uint64(r.VA) + r.Size})
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("victim %s: secret region %q not in layout", l.Name, name))
+		}
+	}
+	return out
 }
 
 // Sym returns a named data address, panicking on unknown names (symbols

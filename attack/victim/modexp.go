@@ -107,9 +107,10 @@ func NewModExpVictim(base, exp, mod uint64, bits int) (*ModExpVictim, error) {
 		Halt()
 
 	v.Layout = &Layout{
-		Name:  "modexp",
-		Prog:  b.MustBuild(),
-		Marks: marks,
+		Name:       "modexp",
+		Prog:       b.MustBuild(),
+		Marks:      marks,
+		SecretRegs: []isa.Reg{isa.R5},
 		Symbols: map[string]mem.Addr{
 			"handle": ModExpHandleVA,
 			"probe":  ModExpProbeVA,

@@ -1,0 +1,59 @@
+package victim
+
+import (
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// RDRAND bias victim virtual addresses (distinct pages, as usual).
+const (
+	RdrandHandleVA mem.Addr = 0x005C_0000
+	RdrandArrayVA  mem.Addr = 0x005D_0000
+	RdrandOutVA    mem.Addr = 0x005E_0000
+)
+
+// RdrandBias builds the §7.2 integrity-bias victim: a replay handle
+// followed by an RDRAND draw whose low bit is transmitted over one of
+// two cache lines before the victim consumes the value. Replaying the
+// handle re-executes the draw, so an attacker observing the transmit
+// line can discard draws until one has the bit it wants — biasing a
+// "true" random number generator. This is the same program the dynamic
+// attack in attack/replay mounts, packaged as a Layout so the static
+// scanner and the CLI can triage it.
+//
+// Symbols: handle, array, out. Marks: handle, rdrand, transmit.
+func RdrandBias() *Layout {
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(RdrandHandleVA)).
+		MovImm(isa.R2, int64(RdrandArrayVA)).
+		MovImm(isa.R7, int64(RdrandOutVA))
+
+	marks := map[string]int{}
+	marks["handle"] = b.Here()
+	b.Load(isa.R3, isa.R1, 0) // REPLAY HANDLE
+	marks["rdrand"] = b.Here()
+	b.Rdrand(isa.R4).
+		AndImm(isa.R5, isa.R4, 1).
+		ShlImm(isa.R5, isa.R5, 6). // bit -> cache line
+		Add(isa.R5, isa.R5, isa.R2)
+	marks["transmit"] = b.Here()
+	b.Load(isa.R6, isa.R5, 0). // transmit: touches line 0 or 1
+					Store(isa.R4, isa.R7, 0). // victim consumes the random value
+					Halt()
+
+	return &Layout{
+		Name:  "rdrand-bias",
+		Prog:  b.MustBuild(),
+		Marks: marks,
+		Symbols: map[string]mem.Addr{
+			"handle": RdrandHandleVA,
+			"array":  RdrandArrayVA,
+			"out":    RdrandOutVA,
+		},
+		Regions: []Region{
+			{Name: "handle", VA: RdrandHandleVA, Size: mem.PageSize, Flags: rw},
+			{Name: "array", VA: RdrandArrayVA, Size: mem.PageSize, Flags: rw},
+			{Name: "out", VA: RdrandOutVA, Size: mem.PageSize, Flags: rw},
+		},
+	}
+}

@@ -2,6 +2,7 @@ package victim
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -151,13 +152,7 @@ func ParseScript(name, src string) (*Layout, error) {
 		l.Regions = append(l.Regions, *r)
 	}
 	// Deterministic region order (map iteration is random).
-	for i := 0; i < len(l.Regions); i++ {
-		for j := i + 1; j < len(l.Regions); j++ {
-			if l.Regions[j].VA < l.Regions[i].VA {
-				l.Regions[i], l.Regions[j] = l.Regions[j], l.Regions[i]
-			}
-		}
-	}
+	sort.Slice(l.Regions, func(i, j int) bool { return l.Regions[i].VA < l.Regions[j].VA })
 	return l, nil
 }
 

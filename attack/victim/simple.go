@@ -62,9 +62,10 @@ func ControlFlowSecret(secret bool) *Layout {
 		Halt()
 
 	return &Layout{
-		Name:  "controlflow",
-		Prog:  b.MustBuild(),
-		Marks: marks,
+		Name:          "controlflow",
+		Prog:          b.MustBuild(),
+		Marks:         marks,
+		SecretRegions: []string{"secret"},
 		Symbols: map[string]mem.Addr{
 			"handle": handlePage,
 			"secret": secretPage,
@@ -125,9 +126,10 @@ func SingleSecret(id int, subnormal bool) *Layout {
 					Halt()
 
 	return &Layout{
-		Name:  "singlesecret",
-		Prog:  b.MustBuild(),
-		Marks: marks,
+		Name:          "singlesecret",
+		Prog:          b.MustBuild(),
+		Marks:         marks,
+		SecretRegions: []string{"secrets"},
 		Symbols: map[string]mem.Addr{
 			"count":   handlePage,
 			"secrets": arrayPage,
@@ -185,9 +187,10 @@ func LoopSecret(secrets []byte) *Layout {
 					Halt()
 
 	return &Layout{
-		Name:  "loopsecret",
-		Prog:  b.MustBuild(),
-		Marks: marks,
+		Name:          "loopsecret",
+		Prog:          b.MustBuild(),
+		Marks:         marks,
+		SecretRegions: []string{"secrets"},
 		Symbols: map[string]mem.Addr{
 			"handle":  handlePage,
 			"secrets": secretPage,

@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"microscope/analysis/static"
 	"microscope/sim/isa"
 	"microscope/sim/mem"
 	"microscope/sim/pipeline"
@@ -80,11 +81,34 @@ func (ctx *Context) SetAddressSpace(as *mem.AddressSpace) { ctx.as = as }
 // AddressSpace returns the bound address space.
 func (ctx *Context) AddressSpace() *mem.AddressSpace { return ctx.as }
 
-// SetProgram loads a program and resets the fetch engine to entry.
-func (ctx *Context) SetProgram(p *isa.Program, entry int) {
-	if entry < 0 || entry >= p.Len() {
-		panic(fmt.Sprintf("cpu: entry %d outside program of %d instrs", entry, p.Len()))
+// LoadProgram validates p with the static analyzer's well-formedness
+// pass and, on success, loads it and resets the fetch engine to entry.
+// Rejected programs (invalid opcodes or operands, out-of-range branch
+// targets, control flow that runs off the end, txabort without a
+// txbegin) would otherwise surface as execute-stage panics deep in a
+// simulation; validating here turns them into descriptive errors at the
+// point the program enters the machine.
+func (ctx *Context) LoadProgram(p *isa.Program, entry int) error {
+	if err := static.Validate(p); err != nil {
+		return fmt.Errorf("cpu: load program: %w", err)
 	}
+	if entry < 0 || entry >= p.Len() {
+		return fmt.Errorf("cpu: entry %d outside program of %d instrs", entry, p.Len())
+	}
+	ctx.load(p, entry)
+	return nil
+}
+
+// SetProgram is LoadProgram for programs known to be well-formed (e.g.
+// emitted by isa.Builder straight from a victim constructor); it panics
+// where LoadProgram returns an error.
+func (ctx *Context) SetProgram(p *isa.Program, entry int) {
+	if err := ctx.LoadProgram(p, entry); err != nil {
+		panic(err)
+	}
+}
+
+func (ctx *Context) load(p *isa.Program, entry int) {
 	ctx.prog = p
 	ctx.fetchPC = entry
 	ctx.fetchHalted = false

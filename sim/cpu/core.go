@@ -807,7 +807,10 @@ func (c *Core) execute(ctx *Context, e *pipeline.Entry, forward *pipeline.Entry)
 			fault = &mem.Fault{VA: effAddr, Level: mem.PTE, Write: true}
 		}
 	default:
-		panic(fmt.Sprintf("cpu: execute: unhandled op %s", in.Op))
+		// Unreachable for loaded programs: Context.LoadProgram runs
+		// static.Validate, which rejects any opcode outside the
+		// execute switch before it can be fetched.
+		panic(fmt.Sprintf("cpu: execute: unhandled op %s (program bypassed LoadProgram validation)", in.Op))
 	}
 	if lat <= 0 {
 		lat = 1

@@ -1,0 +1,44 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+func TestLoadProgramValidates(t *testing.T) {
+	core := NewCore(DefaultConfig(), mem.NewPhysMem(1<<20))
+	ctx := core.Context(0)
+
+	good := isa.NewBuilder().MovImm(isa.R1, 1).Halt().MustBuild()
+	if err := ctx.LoadProgram(good, 0); err != nil {
+		t.Fatalf("well-formed program rejected: %v", err)
+	}
+	if err := ctx.LoadProgram(good, 5); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+
+	// Control flow running off the end is caught at load time, not as an
+	// execute-stage panic mid-simulation.
+	bad := &isa.Program{Instrs: []isa.Instr{{Op: isa.OpMovImm, Rd: isa.R1, Imm: 1}}}
+	err := ctx.LoadProgram(bad, 0)
+	if err == nil || !strings.Contains(err.Error(), "falls off the end") {
+		t.Fatalf("want falls-off-end error, got %v", err)
+	}
+
+	// Invalid opcodes are rejected with a descriptive error.
+	bad = &isa.Program{Instrs: []isa.Instr{{Op: isa.Op(250)}, {Op: isa.OpHalt}}}
+	if err := ctx.LoadProgram(bad, 0); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+
+	// SetProgram keeps the panicking contract for the same failures.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetProgram did not panic on invalid program")
+		}
+	}()
+	ctx.SetProgram(bad, 0)
+}

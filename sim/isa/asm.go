@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -17,8 +18,18 @@ import (
 //	loop:   addi r1, r1, -1
 //	        bne  r1, r0, loop
 //	        halt
-func Assemble(src string) (*Program, error) {
+func Assemble(src string) (*Program, error) { return TryAssemble(src) }
+
+// TryAssemble is the error-returning assembler entry point. Unlike
+// MustAssemble (and Builder.MustBuild), it never panics, and it reports
+// *every* failure — parse errors, duplicate or undefined labels, and
+// instruction-validation errors — with the 1-based source line it
+// originates from, so front ends like cmd/mscan can point at the
+// offending line instead of crashing.
+func TryAssemble(src string) (*Program, error) {
 	b := NewBuilder()
+	var lineOf []int // instruction index -> 1-based source line
+	labelLine := make(map[string]int)
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
@@ -35,6 +46,11 @@ func Assemble(src string) (*Program, error) {
 			if !isIdent(name) {
 				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, name)
 			}
+			if prev, dup := labelLine[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q (first defined on line %d)",
+					lineNo+1, name, prev)
+			}
+			labelLine[name] = lineNo + 1
 			b.Label(name)
 			line = strings.TrimSpace(line[colon+1:])
 		}
@@ -44,8 +60,30 @@ func Assemble(src string) (*Program, error) {
 		if err := assembleLine(b, line); err != nil {
 			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
 		}
+		for len(lineOf) < len(b.instrs) {
+			lineOf = append(lineOf, lineNo+1)
+		}
 	}
-	return b.Build()
+	// Attribute unresolved forward references to the line that used them.
+	for idx, name := range b.fixups {
+		if _, ok := b.labels[name]; !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", lineOf[idx], name)
+		}
+	}
+	p, err := b.Build()
+	if err == nil {
+		return p, nil
+	}
+	// The remaining Build failures are per-instruction validation errors;
+	// Build has already patched branch targets into b.instrs, so re-check
+	// instruction by instruction to recover the source line.
+	q := &Program{Instrs: b.instrs, Labels: b.labels}
+	for i := range q.Instrs {
+		if verr := q.ValidateAt(i); verr != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineOf[i], verr)
+		}
+	}
+	return nil, err
 }
 
 // MustAssemble is Assemble, panicking on error.
@@ -287,6 +325,11 @@ func Disassemble(p *Program) string {
 	byIndex := make(map[int][]string)
 	for name, idx := range p.Labels {
 		byIndex[idx] = append(byIndex[idx], name)
+	}
+	// Two labels can share an index; emit them in a fixed order so the
+	// disassembly does not depend on map iteration order.
+	for idx := range byIndex {
+		sort.Strings(byIndex[idx])
 	}
 	var sb strings.Builder
 	for i, in := range p.Instrs {

@@ -136,6 +136,11 @@ const (
 	opMax
 )
 
+// OpCount is the number of defined operation codes. Tooling that must be
+// total over the ISA (the static analyzer's channel taxonomy, the
+// determinism lints) iterates Op(0)..Op(OpCount-1).
+const OpCount = int(opMax)
+
 var opNames = [...]string{
 	OpNop:      "nop",
 	OpMovImm:   "movi",
@@ -323,29 +328,36 @@ func (p *Program) LabelOf(name string) (int, bool) {
 // Validate checks that every instruction is well formed: defined opcode,
 // valid register operands, and in-range branch targets.
 func (p *Program) Validate() error {
-	for i, in := range p.Instrs {
-		if !in.Op.Valid() {
-			return fmt.Errorf("isa: instr %d: invalid opcode %d", i, int(in.Op))
-		}
-		if d := in.Dest(); d != NoReg && !d.Valid() {
-			return fmt.Errorf("isa: instr %d (%s): invalid dest %s", i, in, d)
-		}
-		for _, s := range in.Sources() {
-			if s != NoReg && !s.Valid() {
-				return fmt.Errorf("isa: instr %d (%s): invalid source %s", i, in, s)
-			}
-		}
-		if in.Op.IsBranch() || in.Op == OpTxBegin {
-			if in.Target < 0 || in.Target >= len(p.Instrs) {
-				return fmt.Errorf("isa: instr %d (%s): target %d out of range [0,%d)",
-					i, in, in.Target, len(p.Instrs))
-			}
-		}
-		if err := validateRegClasses(i, in); err != nil {
+	for i := range p.Instrs {
+		if err := p.ValidateAt(i); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ValidateAt checks the single instruction at index i (see Validate). The
+// assembler uses it to map validation errors back to source lines.
+func (p *Program) ValidateAt(i int) error {
+	in := p.Instrs[i]
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: instr %d: invalid opcode %d", i, int(in.Op))
+	}
+	if d := in.Dest(); d != NoReg && !d.Valid() {
+		return fmt.Errorf("isa: instr %d (%s): invalid dest %s", i, in, d)
+	}
+	for _, s := range in.Sources() {
+		if s != NoReg && !s.Valid() {
+			return fmt.Errorf("isa: instr %d (%s): invalid source %s", i, in, s)
+		}
+	}
+	if in.Op.IsBranch() || in.Op == OpTxBegin {
+		if in.Target < 0 || in.Target >= len(p.Instrs) {
+			return fmt.Errorf("isa: instr %d (%s): target %d out of range [0,%d)",
+				i, in, in.Target, len(p.Instrs))
+		}
+	}
+	return validateRegClasses(i, in)
 }
 
 // validateRegClasses enforces that FP ops use FP registers and integer ops

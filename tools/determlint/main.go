@@ -1,0 +1,55 @@
+// Command determlint is a vet tool enforcing the repository's
+// determinism contract: simulation and analysis code must produce
+// byte-identical output for identical inputs (ROADMAP "determinism"
+// invariant; the sweep runner and golden-output tests depend on it).
+//
+// It flags, outside _test.go files:
+//
+//   - uses of the global math/rand source (rand.Intn, rand.Seed, ...);
+//   - time.Now;
+//   - range-over-map loops whose iteration order reaches output
+//     (append to an outer accumulator that is never sorted, direct
+//     prints or stream writes).
+//
+// Run it through the vet driver:
+//
+//	go build -o bin/determlint ./tools/determlint
+//	go vet -vettool=bin/determlint ./sim/... ./analysis/...
+//
+// The tool speaks the cmd/go vet-tool protocol (-V=full handshake,
+// -flags enumeration, then one invocation per package with a vet.cfg
+// file) using only the standard library — the x/tools unitchecker
+// framework is deliberately not a dependency.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
+		// Build-ID handshake: cmd/go fingerprints the tool for its
+		// action cache.
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// cmd/go asks which analyzer flags we accept: none.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		diags, err := runUnit(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "determlint:", err)
+			os.Exit(1)
+		}
+		if len(diags) > 0 {
+			os.Exit(2) // diagnostics: the exit code cmd/go expects
+		}
+	default:
+		fmt.Fprintln(os.Stderr,
+			"determlint is a vet tool; run via: go vet -vettool=$(go env GOPATH)/bin/determlint ./...")
+		os.Exit(64)
+	}
+}

@@ -1,0 +1,8 @@
+package determ
+
+import "math/rand"
+
+// Test files are exempt: randomized input generation is fine in tests.
+func fuzzInput() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,148 @@
+package main
+
+// The cmd/go vet-tool protocol, stdlib-only.
+//
+// For each package, cmd/go writes a JSON config describing the unit of
+// work (file list, import map, export-data locations) and invokes the
+// tool with the config path as its sole argument. The tool typechecks
+// the package against the compiler's export data, runs its checks,
+// prints findings to stderr as file:line:col: message, writes its facts
+// file (empty — these checks are intraprocedural), and exits 2 when it
+// found anything.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// unitConfig mirrors the fields of cmd/go's vet config that this tool
+// consumes (the file carries more; unknown fields are ignored).
+type unitConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+func runUnit(cfgPath string) ([]diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		// Dependency of a listed package: cmd/go only wants our facts
+		// (none — the checks are intraprocedural), not diagnostics.
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export-data importer: resolve an import path through ImportMap
+	// (vendoring, test variants), then read the compiled package file
+	// cmd/go listed for it.
+	exp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return exp.Import(importPath)
+	})
+
+	info := newInfo()
+	tc := types.Config{Importer: imp}
+	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := runChecks(fset, files, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.msg)
+	}
+	// cmd/go caches a facts file per package and feeds it to dependents;
+	// it must exist even though these checks export no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printVersion answers the -V=full handshake. The format is the one
+// cmd/go's tool-ID scanner accepts: name, "version", a version string
+// whose buildID term fingerprints the binary.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "determlint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel determlint buildID=%02x\n", exe, h.Sum(nil))
+}
