@@ -23,6 +23,9 @@ type ExtractionResult struct {
 	Truth map[int][5]uint16
 	// Faults is the total page faults the attack used.
 	Faults int
+	// Cycles is the simulated-cycle cost of the whole extraction (the
+	// throughput benchmarks divide it by wall-clock time).
+	Cycles uint64
 	// PlaintextOK reports that the victim still produced the correct
 	// plaintext (forward progress, §4.1.4 step 6).
 	PlaintextOK bool
@@ -171,10 +174,12 @@ func RunAESExtraction(cfg AESConfig) (*ExtractionResult, error) {
 		return nil, err
 	}
 
+	start := ar.Core.Cycle()
 	ar.vic.Start(ar.Kernel, 0)
 	if err := ar.Run(200_000_000); err != nil {
 		return nil, err
 	}
+	res.Cycles = ar.Core.Cycle() - start
 	if attackErr != nil {
 		return nil, attackErr
 	}

@@ -28,6 +28,16 @@ import (
 	"microscope/sim/mem"
 )
 
+// reportSimThroughput reports how many millions of simulated cycles the
+// benchmark pushed through per wall-clock second — the simulator-speed
+// figure the fast-forward and allocation work tracks across PRs (see
+// docs/performance.md). simCycles is the total across all b.N iterations.
+func reportSimThroughput(b *testing.B, simCycles uint64) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(simCycles)/1e6/secs, "sim-mcycles-per-sec")
+	}
+}
+
 // BenchmarkTable1Taxonomy regenerates the Table 1 classification and
 // verifies MicroScope's unique cell.
 func BenchmarkTable1Taxonomy(b *testing.B) {
@@ -152,6 +162,7 @@ func BenchmarkFig10PortContention(b *testing.B) {
 	cfg := experiments.DefaultFig10Config()
 	cfg.Samples = 4000
 	var last *experiments.Fig10Result
+	var simCycles uint64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunFig10(cfg)
 		if err != nil {
@@ -160,12 +171,14 @@ func BenchmarkFig10PortContention(b *testing.B) {
 		if !res.SecretDetected() {
 			b.Fatal("secret not detected")
 		}
+		simCycles += res.Mul.Cycles + res.Div.Cycles
 		last = res
 	}
 	b.ReportMetric(last.SeparationX, "separation-x")
 	b.ReportMetric(float64(last.MulOver), "mul-over")
 	b.ReportMetric(float64(last.DivOver), "div-over")
 	b.ReportMetric(float64(last.Threshold), "threshold-cycles")
+	reportSimThroughput(b, simCycles)
 }
 
 // BenchmarkFig11AESReplay runs the three-replay Td1 probe experiment.
@@ -191,6 +204,7 @@ func BenchmarkFig11AESReplay(b *testing.B) {
 func BenchmarkSec62FullExtraction(b *testing.B) {
 	cfg := experiments.DefaultAESConfig()
 	var last *experiments.ExtractionResult
+	var simCycles uint64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunAESExtraction(cfg)
 		if err != nil {
@@ -199,10 +213,12 @@ func BenchmarkSec62FullExtraction(b *testing.B) {
 		if ok, diff := res.Match(); !ok {
 			b.Fatal(diff)
 		}
+		simCycles += res.Cycles
 		last = res
 	}
 	b.ReportMetric(float64(last.Faults), "faults")
 	b.ReportMetric(float64(last.Rounds), "rounds")
+	reportSimThroughput(b, simCycles)
 }
 
 // BenchmarkSweepAESKeyExtraction measures the analysis/sweep worker pool
@@ -535,6 +551,7 @@ func windowFootprint(b *testing.B, cfg cpu.Config) uint64 {
 // over-threshold fraction (most samples land during handling, §6.1).
 func BenchmarkAblationHandlerLatency(b *testing.B) {
 	var short, long float64
+	var simCycles uint64
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultFig10Config()
 		cfg.Samples = 1500
@@ -550,9 +567,11 @@ func BenchmarkAblationHandlerLatency(b *testing.B) {
 			b.Fatal(err)
 		}
 		long = float64(r2.DivOver) / float64(cfg.Samples)
+		simCycles += r1.Mul.Cycles + r1.Div.Cycles + r2.Mul.Cycles + r2.Div.Cycles
 	}
 	b.ReportMetric(short*1000, "over-rate-h2k-permille")
 	b.ReportMetric(long*1000, "over-rate-h20k-permille")
+	reportSimThroughput(b, simCycles)
 	if long >= short {
 		b.Fatal("handler latency has no diluting effect")
 	}

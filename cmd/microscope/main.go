@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"microscope/analysis/sidechan"
 	"microscope/attack/baseline"
@@ -32,6 +33,45 @@ import (
 // yields identical output.
 var workers = flag.Int("workers", 0,
 	"parallel sweep workers (<=0: GOMAXPROCS); results are identical for any value")
+
+// showStats, for subcommands that drive a single simulated core (table2,
+// timeline, execpath, walk), appends per-context pipeline statistics, the
+// fast-forward skip count and host allocation counters after the
+// subcommand's normal output.
+var showStats = flag.Bool("stats", false,
+	"print per-context pipeline statistics, fast-forward skip counts and host allocation counters after the run")
+
+// printStats renders the post-run statistics block for core. The host
+// allocation figures come from the Go runtime and naturally vary between
+// machines; everything above them is deterministic simulation state.
+func printStats(core *cpu.Core) {
+	if !*showStats {
+		return
+	}
+	cycles := core.Cycle()
+	skipped := core.SkippedCycles()
+	pct := 0.0
+	if cycles > 0 {
+		pct = 100 * float64(skipped) / float64(cycles)
+	}
+	fmt.Println("\n-- simulation statistics --")
+	fmt.Printf("core:  cycles=%d fast-forwarded=%d (%.1f%%)\n", cycles, skipped, pct)
+	for i := 0; i < core.Contexts(); i++ {
+		ctx := core.Context(i)
+		if ctx.Program() == nil {
+			continue
+		}
+		s := ctx.Stats()
+		fmt.Printf("ctx%d:  fetched=%d retired=%d squashed=%d faults=%d txaborts=%d\n",
+			i, s.Fetched, s.Retired, s.Squashed, s.PageFaults, s.TxAborts)
+		fmt.Printf("       mispredicts=%d memorder=%d stall-cycles=%d skipped-cycles=%d\n",
+			s.Mispredicts, s.MemOrderViolations, s.StallCycles, s.SkippedCycles)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("host:  heap-allocs=%d heap-bytes=%d gc-cycles=%d\n",
+		ms.Mallocs, ms.TotalAlloc, ms.NumGC)
+}
 
 func main() {
 	flag.Usage = func() {
@@ -75,7 +115,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -111,6 +151,7 @@ func runTable2() error {
 	}
 	fmt.Printf("-> victim replayed %d times, then released; victim finished: %t\n",
 		u.Recipe().Replays(), rig.Core.Context(0).Halted())
+	printStats(rig.Core)
 	return nil
 }
 
@@ -139,6 +180,7 @@ func runTimeline() error {
 	}
 	fmt.Println("Figure 3 — replayer/victim timeline (cycles are simulated)")
 	fmt.Print(microscope.FormatTimeline(rig.Module.Timeline()))
+	printStats(rig.Core)
 	return nil
 }
 
@@ -184,6 +226,7 @@ func runExecPath() error {
 	fmt.Println("6. page-fault handler completes")
 	fmt.Printf("7. control returns to the application (victim finished: %t)\n",
 		rig.Core.Context(0).Halted())
+	printStats(rig.Core)
 	return nil
 }
 
@@ -333,6 +376,7 @@ func runWalk() error {
 		}
 		fmt.Printf("  %d level(s) from memory: fault delivered after %d cycles\n",
 			levels, faultCycle-start)
+		printStats(r2.Core)
 	}
 	return nil
 }

@@ -71,6 +71,18 @@ type Config struct {
 	// RandSeed seeds the deterministic RDRAND source.
 	RandSeed uint64
 
+	// FastForward enables event-driven stall skipping: when no context
+	// can fetch, issue, complete or retire this cycle, Run/RunUntil jump
+	// the cycle counter straight to the earliest next-event cycle
+	// (handler-stall expiry, instruction completion, divider-free time)
+	// instead of stepping through provably idle cycles one by one. The
+	// skipped cycles are exact no-ops, so all architectural and
+	// microarchitectural state — retirement cycles, rdtsc values, fault
+	// timing, traces — is bit-identical with the flag off (proved by the
+	// differential test in attack/experiments). Step() is always
+	// single-cycle regardless. DefaultConfig enables it.
+	FastForward bool
+
 	// JitterPeriod/JitterExtra inject deterministic timing noise: every
 	// JitterPeriod-th executed instruction takes JitterExtra additional
 	// cycles (DRAM refresh, prefetcher interference, SMIs, ...). Zero
@@ -105,6 +117,7 @@ func DefaultConfig() Config {
 		PWCSize:             32,
 		BranchPredictorBits: 10,
 		RandSeed:            0x5ca1ab1e,
+		FastForward:         true,
 		Hierarchy:           cache.DefaultHierarchyConfig(),
 	}
 }

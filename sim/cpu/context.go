@@ -24,6 +24,10 @@ type ContextStats struct {
 	Mispredicts        uint64
 	MemOrderViolations uint64
 	StallCycles        uint64 // cycles spent in the (simulated) kernel fault handler
+	// SkippedCycles counts simulated cycles the fast-forward engine
+	// jumped over while this context had a program loaded (the cycles
+	// were provably dead for every context; see Config.FastForward).
+	SkippedCycles uint64
 }
 
 // Context is one SMT hardware context: architectural registers, a fetch
@@ -69,8 +73,40 @@ type Context struct {
 	nIssued     int // entries in StateIssued
 	nFences     int // unretired fence-acting entries
 
+	// Next-event state for the complete-stage skip and the issue-scan
+	// quiesce (and, through them, core-level fast-forward).
+	//
+	// nextCompleteAt is a lower bound on the earliest CompleteAt among
+	// issued entries (exact after every complete-stage walk and recount;
+	// only ever early after a mid-walk squash, never late). The complete
+	// stage does no ROB walk before that cycle.
+	//
+	// issueSleepUntil is the earliest cycle at which an issue scan could
+	// find work, given that the last full scan issued nothing: ready
+	// entries blocked on the busy divider retry at its free cycle;
+	// entries waiting on operands or on rdtsc-at-head are woken
+	// explicitly (wakeIssue) by the completion, retirement, dispatch or
+	// squash that unblocks them. Zero means "scan now".
+	nextCompleteAt  uint64
+	issueSleepUntil uint64
+
+	// doneScratch is the reusable completion batch of the complete
+	// stage; collecting into a fresh slice every cycle was a measurable
+	// share of hot-loop allocations.
+	doneScratch []*pipeline.Entry
+
 	stats ContextStats
 }
+
+// neverCycle is the "no scheduled event" sentinel for nextCompleteAt and
+// issueSleepUntil.
+const neverCycle = ^uint64(0)
+
+// wakeIssue forces the next issue stage to rescan this context's ROB.
+// Call it whenever an event may have made a dispatched entry issuable:
+// a completion (operands become ready), a retirement (rdtsc issues only
+// at the ROB head), a dispatch, or a squash.
+func (ctx *Context) wakeIssue() { ctx.issueSleepUntil = 0 }
 
 // ID returns the context index within its core.
 func (ctx *Context) ID() int { return ctx.id }
@@ -109,6 +145,13 @@ func (ctx *Context) SetProgram(p *isa.Program, entry int) {
 }
 
 func (ctx *Context) load(p *isa.Program, entry int) {
+	// Maintain the core's halted/loaded context counters (Core.Halted is
+	// O(1) off them).
+	if ctx.prog == nil {
+		ctx.core.nLoaded++
+	} else if ctx.halted {
+		ctx.core.nHalted--
+	}
 	ctx.prog = p
 	ctx.fetchPC = entry
 	ctx.fetchHalted = false
@@ -159,12 +202,11 @@ func (ctx *Context) clearRAT() {
 // contents after a partial squash.
 func (ctx *Context) rebuildRAT() {
 	ctx.clearRAT()
-	ctx.rob.Walk(func(e *pipeline.Entry) bool {
+	for _, e := range ctx.rob.Entries() {
 		if d := e.Instr.Dest(); d != isa.NoReg {
 			ctx.rat[d] = e
 		}
-		return true
-	})
+	}
 }
 
 // squashAll flushes the context's whole pipeline (precise exception).
@@ -190,19 +232,24 @@ func (ctx *Context) isFenceActing(op isa.Op) bool {
 	return op == isa.OpFence || (op == isa.OpRdrand && ctx.core.cfg.FencedRdrand)
 }
 
-// recount recomputes the derived ROB counters after a squash.
+// recount recomputes the derived ROB counters and next-event state after
+// a squash.
 func (ctx *Context) recount() {
 	ctx.nDispatched, ctx.nIssued, ctx.nFences = 0, 0, 0
-	ctx.rob.Walk(func(e *pipeline.Entry) bool {
+	ctx.nextCompleteAt = neverCycle
+	for _, e := range ctx.rob.Entries() {
 		switch e.State {
 		case pipeline.StateDispatched:
 			ctx.nDispatched++
 		case pipeline.StateIssued:
 			ctx.nIssued++
+			if e.CompleteAt < ctx.nextCompleteAt {
+				ctx.nextCompleteAt = e.CompleteAt
+			}
 		}
 		if ctx.isFenceActing(e.Instr.Op) {
 			ctx.nFences++
 		}
-		return true
-	})
+	}
+	ctx.wakeIssue()
 }

@@ -120,6 +120,15 @@ type Core struct {
 	cycle uint64
 	seq   uint64
 
+	// Halted-context bookkeeping: nLoaded counts contexts with a program,
+	// nHalted those of them that have halted. Maintained by Context.load
+	// and ctxHalt so Halted() is O(1) instead of a per-Run-iteration scan.
+	nLoaded int
+	nHalted int
+
+	// skipped counts cycles fast-forwarded over (see Config.FastForward).
+	skipped uint64
+
 	faultHandler FaultHandler
 	tracer       Tracer
 
@@ -209,16 +218,25 @@ func (c *Core) rdrand() uint64 {
 }
 
 // Halted reports whether every context with a loaded program has halted.
-func (c *Core) Halted() bool {
-	for _, ctx := range c.contexts {
-		if ctx.prog != nil && !ctx.halted {
-			return false
-		}
+func (c *Core) Halted() bool { return c.nHalted == c.nLoaded }
+
+// SkippedCycles returns the total simulated cycles the fast-forward
+// engine jumped over (all of them provably dead for every context).
+func (c *Core) SkippedCycles() uint64 { return c.skipped }
+
+// ctxHalt halts a context, maintaining the halted-context counter. Every
+// site that sets Context.halted goes through here.
+func (c *Core) ctxHalt(ctx *Context) {
+	if !ctx.halted {
+		ctx.halted = true
+		c.nHalted++
 	}
-	return true
+	ctx.fetchHalted = true
 }
 
-// Step advances the core by one cycle.
+// Step advances the core by exactly one cycle. It never fast-forwards:
+// external drivers that interleave their own actions with Step (SGX-Step
+// style preemption loops, the Fig. 9 bench) keep cycle-by-cycle control.
 func (c *Core) Step() {
 	c.cycle++
 	c.ports.NewCycle(c.cycle)
@@ -229,17 +247,25 @@ func (c *Core) Step() {
 }
 
 // Run steps until all contexts halt or maxCycles elapse, returning the
-// number of cycles stepped.
+// number of cycles advanced (stepped or fast-forwarded).
 func (c *Core) Run(maxCycles uint64) uint64 {
 	start := c.cycle
 	for !c.Halted() && c.cycle-start < maxCycles {
+		c.fastForward(start, maxCycles)
+		if c.cycle-start >= maxCycles {
+			break
+		}
 		c.Step()
 	}
 	return c.cycle - start
 }
 
 // RunUntil steps until cond returns true or maxCycles elapse, reporting
-// whether cond was met.
+// whether cond was met. With Config.FastForward enabled, cond is only
+// evaluated at cycles where the pipeline can make progress (skipped
+// cycles are exact no-ops, so a cond that reads simulated state sees the
+// same sequence of values; a cond keyed directly off Cycle() should run
+// with fast-forward disabled).
 func (c *Core) RunUntil(cond func() bool, maxCycles uint64) bool {
 	start := c.cycle
 	for c.cycle-start < maxCycles {
@@ -249,9 +275,120 @@ func (c *Core) RunUntil(cond func() bool, maxCycles uint64) bool {
 		if c.Halted() {
 			return cond()
 		}
+		c.fastForward(start, maxCycles)
+		if c.cycle-start >= maxCycles {
+			break
+		}
 		c.Step()
 	}
 	return cond()
+}
+
+// fastForward jumps the cycle counter to just before the earliest cycle
+// at which any context can fetch, issue, complete or retire, clamped so
+// the landing Step stays within the caller's cycle budget. The skipped
+// cycles are provably no-ops: every context is stalled, halted, quiesced
+// waiting on a known future completion/divider-free/stall-expiry cycle,
+// or permanently inert — so jumping preserves exact cycle-accurate
+// semantics (same retirement cycles, rdtsc values, fault timing, traces).
+func (c *Core) fastForward(start, maxCycles uint64) {
+	if !c.cfg.FastForward {
+		return
+	}
+	x := c.cycle + 1 // the cycle the next Step would execute
+	next := c.nextEventAt(x)
+	if next <= x {
+		return
+	}
+	// Leave one cycle of budget for the landing Step.
+	maxSkip := maxCycles - (c.cycle - start) - 1
+	skip := next - x
+	if next == neverCycle || skip > maxSkip {
+		skip = maxSkip
+	}
+	if skip == 0 {
+		return
+	}
+	c.cycle += skip
+	c.skipped += skip
+	for _, ctx := range c.contexts {
+		if ctx.prog != nil {
+			ctx.stats.SkippedCycles += skip
+		}
+	}
+}
+
+// nextEventAt returns the earliest cycle >= x at which any pipeline stage
+// could act for any context, or neverCycle when no future event is
+// scheduled. A return of x means some context can act immediately and no
+// cycles may be skipped.
+func (c *Core) nextEventAt(x uint64) uint64 {
+	next := neverCycle
+	for _, ctx := range c.contexts {
+		e := c.ctxNextEventAt(ctx, x)
+		if e <= x {
+			return x
+		}
+		if e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// ctxNextEventAt computes one context's earliest possible-action cycle
+// >= x. It mirrors the per-stage gating conditions exactly; when in
+// doubt it returns x (conservative: an extra live Step is always
+// correct, a missed event never is).
+func (c *Core) ctxNextEventAt(ctx *Context, x uint64) uint64 {
+	if ctx.prog == nil {
+		return neverCycle
+	}
+	next := neverCycle
+	// Complete stage: runs even for stalled or halted contexts.
+	if ctx.nIssued > 0 {
+		if ctx.nextCompleteAt <= x {
+			return x
+		}
+		next = ctx.nextCompleteAt
+	}
+	if ctx.halted {
+		return next
+	}
+	// Retire stage: a completed or faulted head retires/delivers now
+	// (retire is not gated on stalls).
+	if h := ctx.rob.Head(); h != nil &&
+		(h.State == pipeline.StateCompleted || h.State == pipeline.StateFaulted) {
+		return x
+	}
+	if x < ctx.stallUntil {
+		// Fetch and issue resume when the handler stall expires — unless
+		// the context has nothing to resume to (ran off the end with an
+		// empty pipeline).
+		if !ctx.fetchHalted || ctx.rob.Len() > 0 {
+			if ctx.stallUntil < next {
+				next = ctx.stallUntil
+			}
+		}
+		return next
+	}
+	// Issue stage: a pending scan may find work now; a quiesced context
+	// wakes at its recorded retry cycle (divider-free time) or via an
+	// explicit wakeIssue from the event that unblocks it.
+	if ctx.nDispatched > 0 {
+		if ctx.issueSleepUntil <= x {
+			return x
+		}
+		if ctx.issueSleepUntil < next {
+			next = ctx.issueSleepUntil
+		}
+	}
+	// Fetch stage.
+	if !ctx.fetchHalted && !ctx.rob.Full() && ctx.nFences == 0 &&
+		!(ctx.serialize && ctx.rob.Len() > 0) {
+		return x
+	}
+	return next
 }
 
 // ---------------------------------------------------------------------
@@ -261,16 +398,38 @@ func (c *Core) RunUntil(cond func() bool, maxCycles uint64) bool {
 func (c *Core) complete() {
 	for _, ctx := range c.contexts {
 		if ctx.nIssued == 0 {
+			ctx.nextCompleteAt = neverCycle
 			continue
 		}
-		// Collect first: branch redirects mutate the ROB mid-walk.
-		var done []*pipeline.Entry
-		ctx.rob.Walk(func(e *pipeline.Entry) bool {
-			if e.State == pipeline.StateIssued && e.CompleteAt <= c.cycle {
-				done = append(done, e)
+		// Nothing in flight finishes before nextCompleteAt; skip the walk.
+		if c.cycle < ctx.nextCompleteAt {
+			continue
+		}
+		// Collect first: branch redirects mutate the ROB mid-walk. The
+		// batch lives in a per-context scratch slice — allocating it
+		// fresh every cycle was a top hot-loop allocation. While
+		// collecting, recompute the earliest still-pending completion.
+		done := ctx.doneScratch[:0]
+		nextAt := uint64(neverCycle)
+		for _, e := range ctx.rob.Entries() {
+			if e.State != pipeline.StateIssued {
+				continue
 			}
-			return true
-		})
+			if e.CompleteAt <= c.cycle {
+				done = append(done, e)
+			} else if e.CompleteAt < nextAt {
+				nextAt = e.CompleteAt
+			}
+		}
+		ctx.doneScratch = done
+		// A mid-batch squash may remove pending issued entries; recount
+		// then recomputes nextCompleteAt exactly, and nextAt (a superset
+		// minimum) can only be early, never late — so this stays a sound
+		// lower bound either way.
+		ctx.nextCompleteAt = nextAt
+		if len(done) > 0 {
+			ctx.wakeIssue() // completions can make consumers issuable
+		}
 		for _, e := range done {
 			if e.State != pipeline.StateIssued {
 				continue // squashed by an older branch this same cycle
@@ -284,7 +443,9 @@ func (c *Core) complete() {
 			} else {
 				e.State = pipeline.StateCompleted
 			}
-			c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Instr: e.Instr})
+			if c.tracer != nil {
+				c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Instr: e.Instr})
+			}
 			if e.Instr.Op.IsCondBranch() {
 				ctx.bp.Update(e.PC, e.ActualPC == e.Instr.Target, e.Instr.Target)
 			}
@@ -296,8 +457,10 @@ func (c *Core) complete() {
 				if c.cfg.FenceAfterFlush {
 					ctx.serialize = true
 				}
-				c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
-					Detail: "branch mispredict"})
+				if c.tracer != nil {
+					c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
+						Detail: "branch mispredict"})
+				}
 			}
 		}
 	}
@@ -363,6 +526,7 @@ func (c *Core) retire() {
 			switch head.State {
 			case pipeline.StateCompleted:
 				ctx.rob.PopHead()
+				ctx.wakeIssue() // head changed: a waiting rdtsc may now issue
 				c.commit(ctx, head)
 			case pipeline.StateFaulted:
 				c.deliverFault(ctx, head)
@@ -379,7 +543,9 @@ func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
 	e.State = pipeline.StateRetired
 	ctx.serialize = false // first post-flush retirement lifts the fence
 	ctx.stats.Retired++
-	c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Instr: e.Instr})
+	if c.tracer != nil {
+		c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Instr: e.Instr})
+	}
 
 	if d := e.Instr.Dest(); d != isa.NoReg {
 		ctx.regs[d] = e.Result
@@ -407,8 +573,7 @@ func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
 		c.hier.Access(e.PhysAddr)
 		c.trackTxWrite(ctx, e.PhysAddr)
 	case isa.OpHalt:
-		ctx.halted = true
-		ctx.fetchHalted = true
+		c.ctxHalt(ctx)
 	case isa.OpTxBegin:
 		ctx.inTx = true
 		ctx.txCheckpoint = ctx.regs
@@ -537,14 +702,12 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 		Detail: f.Error()})
 
 	if c.faultHandler == nil {
-		ctx.halted = true
-		ctx.fetchHalted = true
+		c.ctxHalt(ctx)
 		return
 	}
 	out := c.faultHandler.HandlePageFault(pf)
 	if out.Terminate {
-		ctx.halted = true
-		ctx.fetchHalted = true
+		c.ctxHalt(ctx)
 		return
 	}
 	ctx.stallUntil = c.cycle + out.HandlerLatency
@@ -567,18 +730,40 @@ func (c *Core) issue() {
 		if ctx.Stalled(c.cycle) || ctx.nDispatched == 0 {
 			continue
 		}
-		ctx.rob.Walk(func(e *pipeline.Entry) bool {
+		// Quiesced: the last full scan proved nothing becomes issuable
+		// before issueSleepUntil without an intervening wakeIssue event
+		// (completion, retirement, dispatch, squash). Skip the O(ROB)
+		// scan — with a full ROB blocked behind the non-pipelined
+		// divider, this is the hottest loop in the simulator.
+		if c.cycle < ctx.issueSleepUntil {
+			continue
+		}
+		retryAt := uint64(neverCycle)
+		for _, e := range ctx.rob.Entries() {
 			if budget == 0 || ctx.nDispatched == 0 {
-				return false
+				break
 			}
 			if e.State != pipeline.StateDispatched || !e.OperandsReady() {
-				return true
+				continue
 			}
-			if c.tryIssueEntry(ctx, e) {
+			if ok, at := c.tryIssueEntry(ctx, e); ok {
 				budget--
+			} else if at < retryAt {
+				retryAt = at
 			}
-			return true
-		})
+		}
+		if budget == 0 && ctx.nDispatched > 0 {
+			// Scan may have stopped early: rescan next cycle.
+			ctx.issueSleepUntil = c.cycle + 1
+		} else {
+			// Full coverage: every still-dispatched entry is either
+			// port-blocked until retryAt or waiting on an event that
+			// fires wakeIssue. (A mid-scan squash sets issueSleepUntil
+			// to zero via recount, but the squash also redirects fetch,
+			// and the resulting dispatch wakes the scan again — so
+			// overwriting here is sound.)
+			ctx.issueSleepUntil = retryAt
+		}
 	}
 }
 
@@ -602,17 +787,19 @@ func (c *Core) occupancyOf(e *pipeline.Entry) uint64 {
 	}
 }
 
-// tryIssueEntry attempts to start executing e, reporting success. The port
-// is claimed before execute runs so that a structural hazard leaves no
-// side effects (the entry retries next cycle).
-func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) bool {
+// tryIssueEntry attempts to start executing e, reporting success. On
+// failure it also returns the earliest cycle a retry could succeed
+// (neverCycle when only a wakeIssue event — retirement for a non-head
+// rdtsc — can unblock it). The port is claimed before execute runs so
+// that a structural hazard leaves no side effects (the entry retries).
+func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	op := e.Instr.Op
 
 	// RDTSC reads the cycle counter at the ROB head only (serialized, as
 	// in the rdtscp+fence idiom attack code uses), so monitor timing
 	// measurements are well ordered.
 	if op == isa.OpRdtsc && ctx.rob.Head() != e {
-		return false
+		return false, neverCycle // retirement pops the head and wakes us
 	}
 
 	// Optimistic memory disambiguation: a load forwards from the youngest
@@ -624,55 +811,61 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) bool {
 	var forward *pipeline.Entry
 	if op.IsLoad() {
 		va := e.Src[0].Value + uint64(e.Instr.Imm)
-		ctx.rob.Walk(func(se *pipeline.Entry) bool {
+		for _, se := range ctx.rob.Entries() {
 			if se.Seq >= e.Seq {
-				return false
+				break
 			}
 			if se.Instr.Op.IsStore() && se.State != pipeline.StateDispatched &&
 				se.EffAddr == va {
 				forward = se // youngest older match wins
 			}
-			return true
-		})
+		}
 	}
 
 	if _, ok := c.ports.TryIssue(op, c.occupancyOf(e)); !ok {
-		return false // structural hazard (e.g. divider busy: contention)
+		// Structural hazard (e.g. divider busy: contention).
+		return false, c.ports.RetryAt(op)
 	}
 	lat, result, fault, effAddr, physAddr, walk := c.execute(ctx, e, forward)
 	e.State = pipeline.StateIssued
 	ctx.nDispatched--
 	ctx.nIssued++
 	e.CompleteAt = c.cycle + uint64(lat)
+	if e.CompleteAt < ctx.nextCompleteAt {
+		ctx.nextCompleteAt = e.CompleteAt
+	}
 	e.Result = result
 	e.Fault = fault
 	e.EffAddr = effAddr
 	e.PhysAddr = physAddr
 	e.WalkCycles = walk
-	c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Instr: e.Instr})
+	if c.tracer != nil {
+		c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Instr: e.Instr})
+	}
 
 	// Memory-order violation: this store's address matches a younger load
 	// that already executed with (possibly stale) memory data. Squash and
 	// re-fetch everything younger than the store.
 	if op.IsStore() && fault == nil {
 		violated := false
-		ctx.rob.Walk(func(ye *pipeline.Entry) bool {
+		for _, ye := range ctx.rob.Entries() {
 			if ye.Seq > e.Seq && ye.Instr.Op.IsLoad() &&
 				ye.State != pipeline.StateDispatched && ye.EffAddr == effAddr {
 				violated = true
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if violated {
 			ctx.stats.MemOrderViolations++
 			ctx.squashYounger(e.Seq)
 			ctx.fetchPC = e.PC + 1
-			c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
-				Detail: "memory order violation"})
+			if c.tracer != nil {
+				c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
+					Detail: "memory order violation"})
+			}
 		}
 	}
-	return true
+	return true, 0
 }
 
 // execute computes an instruction's latency, result and memory effects.
@@ -901,10 +1094,13 @@ func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 	}
 	ctx.rob.Push(e)
 	ctx.nDispatched++
+	ctx.wakeIssue() // a fresh entry may be issuable before the quiesce expiry
 	if ctx.isFenceActing(in.Op) {
 		ctx.nFences++
 	}
 	ctx.stats.Fetched++
-	c.trace(Event{Context: ctx.id, Kind: EvFetch, PC: pc, Instr: in})
+	if c.tracer != nil {
+		c.trace(Event{Context: ctx.id, Kind: EvFetch, PC: pc, Instr: in})
+	}
 	return e
 }

@@ -116,6 +116,18 @@ func (ps *PortSet) TryIssue(op isa.Op, occupancy uint64) (Port, bool) {
 	return 0, false
 }
 
+// RetryAt returns the earliest cycle at which an op that failed TryIssue
+// this cycle could next claim a port: the divider-free cycle for div ops
+// blocked on the non-pipelined divider, otherwise the next cycle (the
+// per-cycle issue slots reset every NewCycle). The fast-forward engine
+// uses it to know how long an issue-ready entry stays provably blocked.
+func (ps *PortSet) RetryAt(op isa.Op) uint64 {
+	if PortsFor(op)[0] == PortDiv && ps.divBusyUntil > ps.cycle {
+		return ps.divBusyUntil
+	}
+	return ps.cycle + 1
+}
+
 // DivBusy reports whether the divider is occupied at the current cycle.
 func (ps *PortSet) DivBusy() bool { return ps.divBusyUntil > ps.cycle }
 

@@ -198,3 +198,12 @@ func (r *ROB) Walk(fn func(*Entry) bool) {
 		}
 	}
 }
+
+// Entries returns the in-flight entries, oldest first, as a read-only
+// view of the ROB's backing slice. The cycle engine iterates it directly
+// instead of through Walk: a closure per stage per context per cycle is
+// real heap traffic on the hot path. A squash during iteration truncates
+// the ROB but leaves the removed entries marked StateSquashed in the
+// backing array, so callers that keep ranging a snapshot see them in a
+// state their filters already skip — the same contract Walk had.
+func (r *ROB) Entries() []*Entry { return r.entries }

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so benchmark trajectories (ns/op, allocs/op and the
+// custom figure-of-merit metrics the bench harness reports, including
+// sim-mcycles-per-sec) can be committed and diffed across PRs — the
+// BENCH_*.json files at the repository root are its output.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | go run ./tools/benchjson -o BENCH_PR3.json
+//
+// Input is read from stdin (or a file named as the sole positional
+// argument); output goes to -o, default stdout. Only the standard
+// library is used. The JSON is deterministic for a given input: metric
+// keys are emitted in sorted order and benchmarks in input order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the "Benchmark" prefix and any
+	// "-8" GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op" and every
+	// custom b.ReportMetric unit ("separation-x", "sim-mcycles-per-sec").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole parsed bench run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects header context and
+// benchmark lines. Unrecognized lines (PASS, ok, test logs) are skipped.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w", err)
+			}
+			if b != nil {
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   2   210227940 ns/op   34.00 div-over   106553 allocs/op
+//
+// The fields after the iteration count alternate value/unit. A line that
+// is not a result (e.g. a "BenchmarkX" header printed without fields by
+// -v) yields (nil, nil).
+func parseBenchLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkX ... some log" — not a result line
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	b := &Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad value %q", fields[0], fields[i])
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep) // map keys marshal in sorted order
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

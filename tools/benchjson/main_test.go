@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: microscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1Taxonomy-4      	  702818	      1530 ns/op	    1144 B/op	      23 allocs/op
+BenchmarkFig10PortContention   	       2	 210227940 ns/op	        34.00 div-over	         2.000 mul-over	        17.00 separation-x	        53.00 threshold-cycles	       123.4 sim-mcycles-per-sec	161015668 B/op	  106553 allocs/op
+--- BENCH: BenchmarkSomething
+    some free-form log line
+PASS
+ok  	microscope	1.146s
+`
+
+func TestParseHeadersAndBenchLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "microscope" {
+		t.Errorf("headers: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "Table1Taxonomy" {
+		t.Errorf("name %q: -GOMAXPROCS suffix not stripped", b0.Name)
+	}
+	if b0.Iterations != 702818 {
+		t.Errorf("iterations %d", b0.Iterations)
+	}
+	if b0.Metrics["ns/op"] != 1530 || b0.Metrics["allocs/op"] != 23 {
+		t.Errorf("metrics %v", b0.Metrics)
+	}
+
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "Fig10PortContention" {
+		t.Errorf("name %q: unsuffixed name mangled", b1.Name)
+	}
+	want := map[string]float64{
+		"ns/op":               210227940,
+		"div-over":            34,
+		"mul-over":            2,
+		"separation-x":        17,
+		"threshold-cycles":    53,
+		"sim-mcycles-per-sec": 123.4,
+		"B/op":                161015668,
+		"allocs/op":           106553,
+	}
+	for k, v := range want {
+		if b1.Metrics[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, b1.Metrics[k], v)
+		}
+	}
+	if len(b1.Metrics) != len(want) {
+		t.Errorf("extra metrics: %v", b1.Metrics)
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	in := "BenchmarkHeaderOnly\nBenchmarkWithLog    some log text here\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from non-result lines", len(rep.Benchmarks))
+	}
+}
+
+func TestRunEmitsDeterministicSortedJSON(t *testing.T) {
+	var out1, out2 bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleOutput), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Error("output not deterministic")
+	}
+	s := out1.String()
+	// Map keys must marshal sorted: B/op < allocs/op < ns/op ("B" sorts
+	// before lowercase).
+	if !strings.Contains(s, `"sim-mcycles-per-sec"`) {
+		t.Error("custom metric missing from JSON")
+	}
+	iB := strings.Index(s, `"B/op"`)
+	iA := strings.Index(s, `"allocs/op"`)
+	iN := strings.Index(s, `"ns/op"`)
+	if !(iB < iA && iA < iN) || iB < 0 {
+		t.Errorf("metric keys not sorted: B/op@%d allocs/op@%d ns/op@%d", iB, iA, iN)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok\n"), &out); err == nil {
+		t.Error("empty bench run accepted")
+	}
+}
