@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"hash/fnv"
 	"testing"
 
 	"microscope/attack/microscope"
@@ -10,6 +8,7 @@ import (
 	"microscope/attack/victim"
 	"microscope/sim/cpu"
 	"microscope/sim/isa"
+	"microscope/sim/trace"
 )
 
 // The fast-forward differential suite: every builtin victim is driven
@@ -144,13 +143,8 @@ func runFFScenario(t *testing.T, sc ffScenario, fastForward bool) ffDigest {
 		t.Fatal(err)
 	}
 
-	h := fnv.New64a()
-	events := 0
-	rig.Core.SetTracer(cpu.TracerFunc(func(ev cpu.Event) {
-		events++
-		fmt.Fprintf(h, "%d|%d|%d|%d|%v|%s\n",
-			ev.Cycle, ev.Context, ev.Kind, ev.PC, ev.Instr, ev.Detail)
-	}))
+	h := trace.NewHasher()
+	rig.Core.SetTracer(h)
 
 	vic.Start(rig.Kernel, 0)
 	if mon != nil {
@@ -162,7 +156,7 @@ func runFFScenario(t *testing.T, sc ffScenario, fastForward bool) ffDigest {
 
 	d := ffDigest{
 		traceHash: h.Sum64(),
-		events:    events,
+		events:    int(h.Events()),
 		cycles:    rig.Core.Cycle(),
 		skipped:   rig.Core.SkippedCycles(),
 		replays:   rec.Replays(),

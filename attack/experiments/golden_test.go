@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-trace regression: every builtin victim runs a short
+// fixed-seed replay attack and its canonical event-stream digest must
+// match the committed value. A pipeline refactor that silently reorders,
+// drops or re-times a single event anywhere in the run moves the FNV
+// digest and fails here loudly. Regenerate after an *intentional*
+// behaviour change with:
+//
+//	go test ./attack/experiments -run TestGoldenTraces -update
+//
+// and review the testdata diff like any other code change.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace digests")
+
+const goldenPath = "testdata/golden_traces.json"
+
+// goldenDigest is the committed fingerprint of one scenario's run.
+type goldenDigest struct {
+	TraceHash string `json:"traceHash"` // %#016x of the FNV-1a sum
+	Events    int    `json:"events"`
+	Cycles    uint64 `json:"cycles"`
+	Replays   int    `json:"replays"`
+}
+
+func loadGolden(t *testing.T) map[string]goldenDigest {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	var m map[string]goldenDigest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return m
+}
+
+func TestGoldenTraces(t *testing.T) {
+	got := map[string]goldenDigest{}
+	for _, sc := range ffScenarios() {
+		d := runFFScenario(t, sc, true)
+		got[sc.name] = goldenDigest{
+			TraceHash: fmt.Sprintf("%#016x", d.traceHash),
+			Events:    d.events,
+			Cycles:    d.cycles,
+			Replays:   d.replays,
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d scenarios", goldenPath, len(got))
+		return
+	}
+
+	want := loadGolden(t)
+	for name, g := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden digest committed (run with -update)", name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: trace diverged from golden:\n got %+v\nwant %+v\n"+
+				"if this change is intentional, regenerate with -update and review the diff",
+				name, g, w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("%s: golden digest exists but the scenario is gone", name)
+		}
+	}
+}

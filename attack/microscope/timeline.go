@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"microscope/sim/mem"
+	"microscope/sim/trace"
 )
 
 // TimelineKind classifies module-level events for the Fig. 3 timeline.
@@ -67,6 +68,59 @@ func (m *Module) Timeline() []TimelineEvent {
 
 // ClearTimeline resets the log.
 func (m *Module) ClearTimeline() { m.timeline = m.timeline[:0] }
+
+// TraceAnnotations converts the module timeline into Chrome-trace
+// annotations for sim/trace's exporter: each recipe gets its own
+// "replayer" track, every EvHandleFault opens a numbered replay
+// iteration that runs until the next fault or the release, and the
+// remaining module actions (setup, pivots, arming, release) render as
+// instant markers. Layered over the per-context pipeline tracks this
+// reproduces the paper's Fig. 3 interleaving in the viewer.
+func (m *Module) TraceAnnotations() []trace.Annotation {
+	var out []trace.Annotation
+	replays := map[string]int{} // replay ordinal per recipe
+	openIdx := map[string]int{} // out-index of the recipe's open iteration
+	for _, ev := range m.timeline {
+		track := "replayer: " + ev.Recipe
+		va := fmt.Sprintf("%#x", uint64(ev.VA))
+		switch ev.Kind {
+		case EvHandleFault:
+			if i, ok := openIdx[ev.Recipe]; ok {
+				out[i].End = ev.Cycle
+			}
+			replays[ev.Recipe]++
+			out = append(out, trace.Annotation{
+				Track: track,
+				Name:  fmt.Sprintf("replay %d", replays[ev.Recipe]),
+				Start: ev.Cycle,
+				End:   ev.Cycle,
+				Args:  map[string]string{"va": va},
+			})
+			openIdx[ev.Recipe] = len(out) - 1
+		case EvRelease:
+			if i, ok := openIdx[ev.Recipe]; ok {
+				out[i].End = ev.Cycle
+				delete(openIdx, ev.Recipe)
+			}
+			out = append(out, trace.Annotation{
+				Track: track,
+				Name:  ev.Kind.String(),
+				Start: ev.Cycle,
+				End:   ev.Cycle,
+				Args:  map[string]string{"va": va},
+			})
+		default:
+			out = append(out, trace.Annotation{
+				Track: track,
+				Name:  ev.Kind.String(),
+				Start: ev.Cycle,
+				End:   ev.Cycle,
+				Args:  map[string]string{"va": va},
+			})
+		}
+	}
+	return out
+}
 
 // FormatTimeline renders the log as the Fig. 3-style interleaving.
 func FormatTimeline(evs []TimelineEvent) string {

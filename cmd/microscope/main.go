@@ -26,6 +26,7 @@ import (
 	"microscope/attack/replay"
 	"microscope/attack/victim"
 	"microscope/sim/cpu"
+	"microscope/sim/trace"
 )
 
 // workers bounds the goroutines of subcommands that fan independent
@@ -40,6 +41,68 @@ var workers = flag.Int("workers", 0,
 // subcommand's normal output.
 var showStats = flag.Bool("stats", false,
 	"print per-context pipeline statistics, fast-forward skip counts and host allocation counters after the run")
+
+// traceOut and showMetrics attach the sim/trace observability stack to
+// subcommands that drive a single simulated core (table2, timeline,
+// execpath): a Chrome Trace Event JSON of every instruction lifecycle,
+// and deterministic aggregate pipeline metrics.
+var traceOut = flag.String("trace", "",
+	"write a Chrome Trace Event JSON of the run to this file (Perfetto-loadable; table2, timeline, execpath)")
+
+var showMetrics = flag.Bool("metrics", false,
+	"print deterministic aggregate pipeline metrics after the run (table2, timeline, execpath)")
+
+// observers is the tracer stack the -trace/-metrics flags request.
+type observers struct {
+	col *trace.Collector
+	met *trace.Metrics
+}
+
+// attachObservers builds the requested sinks and attaches them to core.
+// With neither flag set the core keeps a nil tracer and pays nothing.
+func attachObservers(core *cpu.Core) *observers {
+	o := &observers{}
+	var sinks []cpu.Tracer
+	if *traceOut != "" {
+		o.col = trace.NewCollector(0)
+		sinks = append(sinks, o.col)
+	}
+	if *showMetrics {
+		o.met = trace.NewMetrics()
+		o.met.ROBSize = core.Config().ROBSize
+		sinks = append(sinks, o.met)
+	}
+	core.SetTracer(trace.Tee(sinks...))
+	return o
+}
+
+// finish writes the Chrome trace (annotated with the module's replay
+// timeline when one exists) and prints the metrics block.
+func (o *observers) finish(mod *microscope.Module) error {
+	if o.col != nil {
+		var anns []trace.Annotation
+		if mod != nil {
+			anns = mod.TraceAnnotations()
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, o.col, anns); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if o.met != nil {
+		fmt.Println("\n-- pipeline metrics --")
+		fmt.Print(o.met.Text())
+	}
+	return nil
+}
 
 // printStats renders the post-run statistics block for core. The host
 // allocation figures come from the Go runtime and naturally vary between
@@ -115,7 +178,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] [-stats] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] [-trace out.json] [-metrics] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -128,6 +191,7 @@ func runTable2() error {
 	if err := rig.InstallVictim(l); err != nil {
 		return err
 	}
+	obs := attachObservers(rig.Core)
 	u := rig.Module.User(rig.Victim)
 	fmt.Println("Table 2 — MicroScope user API")
 	fmt.Printf("provide_replay_handle(%#x)\n", l.Sym("handle"))
@@ -151,6 +215,9 @@ func runTable2() error {
 	}
 	fmt.Printf("-> victim replayed %d times, then released; victim finished: %t\n",
 		u.Recipe().Replays(), rig.Core.Context(0).Halted())
+	if err := obs.finish(rig.Module); err != nil {
+		return err
+	}
 	printStats(rig.Core)
 	return nil
 }
@@ -165,6 +232,7 @@ func runTimeline() error {
 	if err := rig.InstallVictim(l); err != nil {
 		return err
 	}
+	obs := attachObservers(rig.Core)
 	rec := &microscope.Recipe{
 		Name:       "timeline",
 		Victim:     rig.Victim,
@@ -180,6 +248,9 @@ func runTimeline() error {
 	}
 	fmt.Println("Figure 3 — replayer/victim timeline (cycles are simulated)")
 	fmt.Print(microscope.FormatTimeline(rig.Module.Timeline()))
+	if err := obs.finish(rig.Module); err != nil {
+		return err
+	}
 	printStats(rig.Core)
 	return nil
 }
@@ -195,6 +266,7 @@ func runExecPath() error {
 	if err := rig.InstallVictim(l); err != nil {
 		return err
 	}
+	obs := attachObservers(rig.Core)
 	steps := []string{}
 	rec := &microscope.Recipe{
 		Name:       "execpath",
@@ -226,6 +298,9 @@ func runExecPath() error {
 	fmt.Println("6. page-fault handler completes")
 	fmt.Printf("7. control returns to the application (victim finished: %t)\n",
 		rig.Core.Context(0).Halted())
+	if err := obs.finish(rig.Module); err != nil {
+		return err
+	}
 	printStats(rig.Core)
 	return nil
 }

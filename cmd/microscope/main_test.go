@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microscope/sim/trace"
+)
+
+// The CLI acceptance check: `microscope -trace out.json -metrics
+// timeline` must emit a schema-valid Chrome Trace Event JSON of a full
+// replay attack, byte-identically across runs.
+func TestTimelineTraceFlagEmitsValidChrome(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+
+	oldTrace, oldMetrics := *traceOut, *showMetrics
+	defer func() { *traceOut, *showMetrics = oldTrace, oldMetrics }()
+	*traceOut = out
+	*showMetrics = true
+
+	if err := runTimeline(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Fatalf("-trace output fails Chrome trace schema validation: %v", err)
+	}
+	// The annotated replay track must make it into the export.
+	if !bytes.Contains(data, []byte("replayer: timeline")) {
+		t.Error("-trace output is missing the module's replayer annotation track")
+	}
+
+	// Determinism: a second run writes identical bytes.
+	out2 := filepath.Join(dir, "out2.json")
+	*traceOut = out2
+	if err := runTimeline(); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("-trace output differs between identical runs")
+	}
+}

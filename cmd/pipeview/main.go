@@ -15,20 +15,25 @@ import (
 	"microscope/attack/microscope"
 	"microscope/attack/victim"
 	"microscope/sim/cpu"
+	"microscope/sim/trace"
 )
 
 func main() {
 	replays := flag.Int("replays", 3, "replay windows to show")
 	secret := flag.Bool("secret", true, "victim branch secret (div vs mul side)")
+	traceOut := flag.String("trace", "",
+		"also write a Chrome Trace Event JSON of the run to this file (Perfetto-loadable)")
+	metrics := flag.Bool("metrics", false,
+		"print deterministic aggregate pipeline metrics after the windows")
 	flag.Parse()
 
-	if err := run(*replays, *secret); err != nil {
+	if err := run(*replays, *secret, *traceOut, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "pipeview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(replays int, secret bool) error {
+func run(replays int, secret bool, traceOut string, metrics bool) error {
 	rig, err := experiments.NewRig(cpu.DefaultConfig())
 	if err != nil {
 		return err
@@ -38,7 +43,19 @@ func run(replays int, secret bool) error {
 		return err
 	}
 	col := pipetrace.NewCollector(4096)
-	rig.Core.SetTracer(col)
+	var chromeCol *trace.Collector
+	var met *trace.Metrics
+	sinks := []cpu.Tracer{col}
+	if traceOut != "" {
+		chromeCol = trace.NewCollector(0)
+		sinks = append(sinks, chromeCol)
+	}
+	if metrics {
+		met = trace.NewMetrics()
+		met.ROBSize = cpu.DefaultConfig().ROBSize
+		sinks = append(sinks, met)
+	}
+	rig.Core.SetTracer(trace.Tee(sinks...))
 
 	rec := &microscope.Recipe{
 		Name:       "pipeview",
@@ -64,6 +81,24 @@ func run(replays int, secret bool) error {
 			i, retired, squashed, faulted)
 		fmt.Print(pipetrace.Render(w))
 		fmt.Println()
+	}
+	if chromeCol != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, chromeCol, rig.Module.TraceAnnotations()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", traceOut)
+	}
+	if met != nil {
+		fmt.Println("-- pipeline metrics --")
+		fmt.Print(met.Text())
 	}
 	return nil
 }

@@ -1,11 +1,10 @@
 package cpu
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
-	"microscope/sim/isa"
+	"microscope/sim/cpu/cputest"
 )
 
 // TestAliasFuzzTriggersViolations guards the heavy-aliasing differential
@@ -16,28 +15,7 @@ func TestAliasFuzzTriggersViolations(t *testing.T) {
 	totalViolations := uint64(0)
 	for seed := int64(1000); seed < 1040; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		g := &progGen{rng: rng, b: isa.NewBuilder()}
-		g.b.MovImm(diffBase, int64(diffDataVA))
-		g.b.FLoadImm(isa.F1, int64(math.Float64bits(2.0)))
-		slot := func() int64 { return int64(rng.Intn(4)) * 8 }
-		for i := 0; i < 120; i++ {
-			switch rng.Intn(6) {
-			case 0:
-				g.b.MovImm(g.reg(), int64(rng.Uint64()%100_000))
-			case 1:
-				g.b.Add(g.reg(), g.reg(), g.reg())
-			case 2:
-				g.b.Mul(g.reg(), g.reg(), g.reg())
-			case 3:
-				g.b.Load(g.reg(), diffBase, slot())
-			case 4:
-				g.b.Store(g.reg(), diffBase, slot())
-			case 5:
-				g.b.Div(g.reg(), g.reg(), g.reg())
-			}
-		}
-		g.b.Halt()
-		prog := g.b.MustBuild()
+		prog := cputest.GenAliasProgram(rng)
 		as := newDiffSpace(t, seed)
 		core := NewCore(DefaultConfig(), as.Phys())
 		core.Context(0).SetAddressSpace(as)

@@ -84,13 +84,27 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("event(%d)", int(k))
 }
 
-// Event is one pipeline event, delivered to an attached Tracer.
+// Event is one pipeline event, delivered to an attached Tracer. Seq is
+// the global dispatch sequence number of the dynamic instruction the
+// event belongs to, so consumers can correlate the fetch/issue/complete/
+// retire events of one instruction exactly instead of guessing by PC
+// (zero for events with no associated ROB entry, e.g. EvTxAbort). Walk
+// carries the page-walk duration observed by a memory access on
+// EvIssue/EvComplete/EvFault (zero on a TLB hit or for non-memory ops).
+// Port is the execution port the instruction issued on, valid on
+// EvIssue only (zero otherwise).
+//
+// The zero-extended field set is the canonical event identity: the
+// sim/trace Hasher folds every field below into the stream hash.
 type Event struct {
 	Cycle   uint64
 	Context int
 	Kind    EventKind
 	PC      int
+	Seq     uint64
 	Instr   isa.Instr
+	Walk    int
+	Port    pipeline.Port
 	Detail  string
 }
 
@@ -444,7 +458,8 @@ func (c *Core) complete() {
 				e.State = pipeline.StateCompleted
 			}
 			if c.tracer != nil {
-				c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Instr: e.Instr})
+				c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Seq: e.Seq,
+					Instr: e.Instr, Walk: e.WalkCycles})
 			}
 			if e.Instr.Op.IsCondBranch() {
 				ctx.bp.Update(e.PC, e.ActualPC == e.Instr.Target, e.Instr.Target)
@@ -458,8 +473,8 @@ func (c *Core) complete() {
 					ctx.serialize = true
 				}
 				if c.tracer != nil {
-					c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
-						Detail: "branch mispredict"})
+					c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Seq: e.Seq,
+						Instr: e.Instr, Detail: "branch mispredict"})
 				}
 			}
 		}
@@ -544,7 +559,7 @@ func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
 	ctx.serialize = false // first post-flush retirement lifts the fence
 	ctx.stats.Retired++
 	if c.tracer != nil {
-		c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Instr: e.Instr})
+		c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Seq: e.Seq, Instr: e.Instr})
 	}
 
 	if d := e.Instr.Dest(); d != isa.NoReg {
@@ -648,6 +663,10 @@ func (c *Core) Preempt(ctxID int, handlerLatency uint64) {
 	if head := ctx.rob.Head(); head != nil {
 		ctx.fetchPC = head.PC
 	}
+	// Seq 0 marks a whole-pipeline flush: everything in flight is younger.
+	if c.tracer != nil && ctx.rob.Len() > 0 {
+		c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: ctx.fetchPC, Detail: "preempt"})
+	}
 	ctx.squashAll()
 	if c.cfg.FenceAfterFlush {
 		ctx.serialize = true
@@ -698,8 +717,8 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 		Level:   f.Level,
 		Instr:   e.Instr,
 	}
-	c.trace(Event{Context: ctx.id, Kind: EvFault, PC: e.PC, Instr: e.Instr,
-		Detail: f.Error()})
+	c.trace(Event{Context: ctx.id, Kind: EvFault, PC: e.PC, Seq: e.Seq, Instr: e.Instr,
+		Walk: e.WalkCycles, Detail: f.Error()})
 
 	if c.faultHandler == nil {
 		c.ctxHalt(ctx)
@@ -822,7 +841,8 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 		}
 	}
 
-	if _, ok := c.ports.TryIssue(op, c.occupancyOf(e)); !ok {
+	port, ok := c.ports.TryIssue(op, c.occupancyOf(e))
+	if !ok {
 		// Structural hazard (e.g. divider busy: contention).
 		return false, c.ports.RetryAt(op)
 	}
@@ -840,7 +860,8 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	e.PhysAddr = physAddr
 	e.WalkCycles = walk
 	if c.tracer != nil {
-		c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Instr: e.Instr})
+		c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Seq: e.Seq,
+			Instr: e.Instr, Walk: e.WalkCycles, Port: port})
 	}
 
 	// Memory-order violation: this store's address matches a younger load
@@ -860,8 +881,8 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 			ctx.squashYounger(e.Seq)
 			ctx.fetchPC = e.PC + 1
 			if c.tracer != nil {
-				c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Instr: e.Instr,
-					Detail: "memory order violation"})
+				c.trace(Event{Context: ctx.id, Kind: EvSquash, PC: e.PC, Seq: e.Seq,
+					Instr: e.Instr, Detail: "memory order violation"})
 			}
 		}
 	}
@@ -1100,7 +1121,7 @@ func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 	}
 	ctx.stats.Fetched++
 	if c.tracer != nil {
-		c.trace(Event{Context: ctx.id, Kind: EvFetch, PC: pc, Instr: in})
+		c.trace(Event{Context: ctx.id, Kind: EvFetch, PC: pc, Seq: e.Seq, Instr: in})
 	}
 	return e
 }

@@ -829,7 +829,7 @@ func TestContextIsolationAcrossSMT(t *testing.T) {
 func TestTracerSeesLifecycle(t *testing.T) {
 	r := newRig(t, DefaultConfig())
 	var kinds = map[EventKind]int{}
-	r.core.SetTracer(tracerFunc(func(ev Event) { kinds[ev.Kind]++ }))
+	r.core.SetTracer(TracerFunc(func(ev Event) { kinds[ev.Kind]++ }))
 	prog := isa.NewBuilder().MovImm(isa.R1, 1).Halt().MustBuild()
 	r.run(t, prog, 10_000)
 	for _, k := range []EventKind{EvFetch, EvIssue, EvComplete, EvRetire} {
@@ -838,10 +838,6 @@ func TestTracerSeesLifecycle(t *testing.T) {
 		}
 	}
 }
-
-type tracerFunc func(Event)
-
-func (f tracerFunc) Trace(ev Event) { f(ev) }
 
 func TestHandlerLatencyStallsOnlyFaultingContext(t *testing.T) {
 	cfg := DefaultConfig()

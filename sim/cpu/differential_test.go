@@ -1,10 +1,10 @@
 package cpu
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
+	"microscope/sim/cpu/cputest"
 	"microscope/sim/isa"
 	"microscope/sim/mem"
 )
@@ -14,165 +14,20 @@ import (
 // core and on the sequential Reference interpreter. This exercises
 // renaming, forwarding, branch recovery, memory disambiguation,
 // store-to-load forwarding and transaction rollback against a trivially
-// correct model.
+// correct model. The program generators live in sim/cpu/cputest so the
+// external trace-differential suite (tracediff_test.go) can drive the
+// exact same distribution.
 
 const (
-	diffDataVA mem.Addr = 0x0100_0000
-	diffPages           = 4
+	diffDataVA = cputest.DataVA
+	diffPages  = cputest.DataPages
 )
-
-// progGen emits random structured programs: straight-line ALU/memory
-// blocks, forward branches, counted loops, occasional transactions.
-type progGen struct {
-	rng *rand.Rand
-	b   *isa.Builder
-	n   int // emitted instruction count (approximate budget control)
-}
-
-// intRegs usable as scratch (r13 is the loop counter, r14/r15 reserved by
-// transactions).
-var diffIntRegs = []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7, isa.R8}
-
-var diffFloatRegs = []isa.Reg{isa.F1, isa.F2, isa.F3, isa.F4}
-
-func (g *progGen) reg() isa.Reg  { return diffIntRegs[g.rng.Intn(len(diffIntRegs))] }
-func (g *progGen) freg() isa.Reg { return diffFloatRegs[g.rng.Intn(len(diffFloatRegs))] }
-
-// addrReg returns r12, which always holds the data base address.
-const diffBase = isa.R12
-
-// loopCounters maps nesting depth to its reserved counter register, so
-// nested counted loops never clobber each other.
-var loopCounters = [3]isa.Reg{isa.R9, isa.R10, isa.R13}
-
-func (g *progGen) offset() int64 {
-	return int64(g.rng.Intn(diffPages*mem.PageSize/8)) * 8
-}
-
-func (g *progGen) emitOp() {
-	g.n++
-	switch g.rng.Intn(16) {
-	case 0:
-		g.b.MovImm(g.reg(), int64(g.rng.Uint64()%1_000_000))
-	case 1:
-		g.b.Add(g.reg(), g.reg(), g.reg())
-	case 2:
-		g.b.Sub(g.reg(), g.reg(), g.reg())
-	case 3:
-		g.b.Mul(g.reg(), g.reg(), g.reg())
-	case 4:
-		g.b.Div(g.reg(), g.reg(), g.reg())
-	case 5:
-		g.b.Xor(g.reg(), g.reg(), g.reg())
-	case 6:
-		g.b.AndImm(g.reg(), g.reg(), int64(g.rng.Uint64()&0xffff))
-	case 7:
-		g.b.ShrImm(g.reg(), g.reg(), int64(g.rng.Intn(63)))
-	case 8:
-		g.b.ShlImm(g.reg(), g.reg(), int64(g.rng.Intn(16)))
-	case 9:
-		g.b.Load(g.reg(), diffBase, g.offset())
-	case 10:
-		g.b.Store(g.reg(), diffBase, g.offset())
-	case 11:
-		g.b.Load32(g.reg(), diffBase, g.offset())
-	case 12:
-		g.b.Store32(g.reg(), diffBase, g.offset())
-	case 13:
-		g.b.FAdd(g.freg(), g.freg(), g.freg())
-	case 14:
-		g.b.FMul(g.freg(), g.freg(), g.freg())
-	case 15:
-		g.b.FDiv(g.freg(), g.freg(), g.freg())
-	}
-}
-
-func (g *progGen) emitBlock(depth int, label *int) {
-	nOps := 2 + g.rng.Intn(6)
-	for i := 0; i < nOps; i++ {
-		g.emitOp()
-	}
-	if depth <= 0 || g.n > 150 {
-		return
-	}
-	switch g.rng.Intn(4) {
-	case 0: // forward branch over a sub-block
-		*label++
-		skip := labelName("skip", *label)
-		g.b.Beq(g.reg(), g.reg(), skip)
-		g.emitBlock(depth-1, label)
-		g.b.Label(skip)
-	case 1: // counted loop (one reserved counter register per depth)
-		*label++
-		loop := labelName("loop", *label)
-		iters := int64(1 + g.rng.Intn(5))
-		counter := loopCounters[depth]
-		g.b.MovImm(counter, iters)
-		g.b.Label(loop)
-		g.emitBlock(depth-1, label)
-		g.b.AddImm(counter, counter, -1)
-		g.b.Bne(counter, isa.R0, loop)
-	case 2: // transaction that always commits
-		*label++
-		abort := labelName("abort", *label)
-		after := labelName("after", *label)
-		g.b.TxBegin(abort)
-		g.emitBlock(depth-1, label)
-		g.b.TxEnd()
-		g.b.Jmp(after)
-		g.b.Label(abort)
-		g.b.MovImm(isa.R11, 77)
-		g.b.Label(after)
-	case 3: // transaction that explicitly aborts
-		*label++
-		abort := labelName("abt", *label)
-		g.b.TxBegin(abort)
-		g.emitBlock(depth-1, label)
-		g.b.TxAbort()
-		g.b.Label(abort)
-	}
-}
-
-func labelName(prefix string, n int) string {
-	return prefix + "_" + string(rune('a'+n%26)) + string(rune('a'+(n/26)%26)) +
-		string(rune('a'+(n/676)%26))
-}
-
-func genProgram(rng *rand.Rand) *isa.Program {
-	g := &progGen{rng: rng, b: isa.NewBuilder()}
-	g.b.MovImm(diffBase, int64(diffDataVA))
-	// Seed float registers with interesting values.
-	g.b.FLoadImm(isa.F1, int64(math.Float64bits(3.5)))
-	g.b.FLoadImm(isa.F2, int64(math.Float64bits(-0.25)))
-	g.b.FLoadImm(isa.F3, int64(math.Float64bits(1e300)))
-	g.b.FLoadImm(isa.F4, int64(math.Float64bits(7.0)))
-	label := 0
-	blocks := 2 + rng.Intn(4)
-	for i := 0; i < blocks; i++ {
-		g.emitBlock(2, &label)
-	}
-	g.b.Halt()
-	return g.b.MustBuild()
-}
 
 func newDiffSpace(t *testing.T, seedMem int64) *mem.AddressSpace {
 	t.Helper()
-	phys := mem.NewPhysMem(16 << 20)
-	as, err := mem.NewAddressSpace(phys, 1)
+	as, err := cputest.NewDataSpace(seedMem)
 	if err != nil {
 		t.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(seedMem))
-	for p := 0; p < diffPages; p++ {
-		va := diffDataVA + mem.Addr(p)*mem.PageSize
-		if _, err := as.MapNew(va, mem.FlagUser|mem.FlagWritable); err != nil {
-			t.Fatal(err)
-		}
-		init := make([]byte, mem.PageSize)
-		rng.Read(init)
-		if err := as.WriteVirt(va, init); err != nil {
-			t.Fatal(err)
-		}
 	}
 	return as
 }
@@ -181,7 +36,7 @@ func TestDifferentialOoOvsReference(t *testing.T) {
 	const programs = 120
 	for seed := int64(0); seed < programs; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		prog := genProgram(rng)
+		prog := cputest.GenProgram(rng)
 
 		// Reference run.
 		refAS := newDiffSpace(t, seed)
@@ -308,33 +163,7 @@ func TestDifferentialHeavyAliasing(t *testing.T) {
 	const programs = 80
 	for seed := int64(1000); seed < 1000+programs; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		g := &progGen{rng: rng, b: isa.NewBuilder()}
-		g.b.MovImm(diffBase, int64(diffDataVA))
-		g.b.FLoadImm(isa.F1, int64(math.Float64bits(2.0)))
-		g.b.FLoadImm(isa.F2, int64(math.Float64bits(5.0)))
-		// Dense alias traffic: random ALU ops interleaved with loads and
-		// stores confined to 4 memory slots.
-		slot := func() int64 { return int64(rng.Intn(4)) * 8 }
-		for i := 0; i < 120; i++ {
-			switch rng.Intn(6) {
-			case 0:
-				g.b.MovImm(g.reg(), int64(rng.Uint64()%100_000))
-			case 1:
-				g.b.Add(g.reg(), g.reg(), g.reg())
-			case 2:
-				g.b.Mul(g.reg(), g.reg(), g.reg())
-			case 3:
-				g.b.Load(g.reg(), diffBase, slot())
-			case 4:
-				g.b.Store(g.reg(), diffBase, slot())
-			case 5:
-				// A slow producer feeding a store address/data increases
-				// the chance loads speculate past unresolved stores.
-				g.b.Div(g.reg(), g.reg(), g.reg())
-			}
-		}
-		g.b.Halt()
-		prog := g.b.MustBuild()
+		prog := cputest.GenAliasProgram(rng)
 
 		refAS := newDiffSpace(t, seed)
 		ref := NewReference(refAS, 42)

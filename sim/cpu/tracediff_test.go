@@ -1,0 +1,92 @@
+package cpu_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/cpu/cputest"
+	"microscope/sim/isa"
+	"microscope/sim/trace"
+)
+
+// The trace-hash arm of the differential fuzzer: beyond architectural
+// state (differential_test.go), fast-forward on and off must emit the
+// exact same pipeline event stream — every fetch, issue, completion,
+// retirement and squash at the same cycle with the same operands. The
+// trace.Hasher folds the stream into one digest per run; a single
+// mismatched event anywhere in millions diverges the sum. This file
+// lives in package cpu_test because sim/trace imports sim/cpu.
+
+type diffRun struct {
+	hash    uint64
+	events  uint64
+	cycles  uint64
+	skipped uint64
+	regs    [isa.NumRegs]uint64
+}
+
+func runTraced(t *testing.T, prog *isa.Program, seed int64, fastForward bool) diffRun {
+	t.Helper()
+	as, err := cputest.NewDataSpace(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.FastForward = fastForward
+	core := cpu.NewCore(cfg, as.Phys())
+	core.Context(0).SetAddressSpace(as)
+	core.Context(0).SetProgram(prog, 0)
+	h := trace.NewHasher()
+	core.SetTracer(h)
+	core.Run(20_000_000)
+	if !core.Context(0).Halted() {
+		t.Fatalf("seed %d fastForward=%v: core did not halt", seed, fastForward)
+	}
+	d := diffRun{
+		hash:    h.Sum64(),
+		events:  h.Events(),
+		cycles:  core.Cycle(),
+		skipped: core.SkippedCycles(),
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		d.regs[r] = core.Context(0).Reg(r)
+	}
+	return d
+}
+
+func TestDifferentialTraceHashFastForward(t *testing.T) {
+	var totalSkipped uint64
+	check := func(seed int64, prog *isa.Program) {
+		on := runTraced(t, prog, seed, true)
+		off := runTraced(t, prog, seed, false)
+		totalSkipped += on.skipped
+		if off.skipped != 0 {
+			t.Errorf("seed %d: skip-off run skipped %d cycles", seed, off.skipped)
+		}
+		if on.hash != off.hash || on.events != off.events {
+			t.Errorf("seed %d: trace diverges: %d events hash %#x (on) vs %d events hash %#x (off)\n%s",
+				seed, on.events, on.hash, off.events, off.hash, isa.Disassemble(prog))
+		}
+		if on.cycles != off.cycles {
+			t.Errorf("seed %d: final cycle diverges: %d vs %d", seed, on.cycles, off.cycles)
+		}
+		if on.regs != off.regs {
+			t.Errorf("seed %d: architectural registers diverge", seed)
+		}
+	}
+	// Structured programs (branches, loops, transactions)...
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		check(seed, cputest.GenProgram(rng))
+	}
+	// ...and aliasing-heavy ones (dense squash/replay traffic, slow
+	// divides the fast-forward engine loves to skip over).
+	for seed := int64(1000); seed < 1030; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		check(seed, cputest.GenAliasProgram(rng))
+	}
+	if totalSkipped == 0 {
+		t.Error("no run ever fast-forwarded: the differential is vacuous")
+	}
+}

@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTryAssemble drives the assembler with arbitrary source text. Two
+// properties:
+//
+//  1. TryAssemble never panics — it is the error-returning entry point
+//     front ends like cmd/mscan feed raw user files into;
+//  2. whatever it accepts round-trips: Disassemble of the program must
+//     reassemble cleanly into instruction-for-instruction identical
+//     code (the Labels table is NOT compared — a trailing label past
+//     the last instruction legally vanishes in disassembly).
+func FuzzTryAssemble(f *testing.F) {
+	seeds := []string{
+		"movi r1, 10\nhalt",
+		"\tmovi r1, 10\nloop: addi r1, r1, -1\n\tbne r1, r0, loop\n\thalt",
+		"a: b: nop ; two labels, one instr\n\tjmp a\n",
+		"movi r12, 0x100000\n\tld r1, 8(r12)\n\tst r1, -8(r12)\n\thalt",
+		"floadi f1, 4614256656552045848\n\tfdiv f2, f1, f1\n\thalt",
+		"txbegin out\n\tmovi r1, 1\n\ttxabort\nout:\n\thalt",
+		"rdtsc r4\nrdrand r5\nfence\nhalt",
+		"beq r1, r2, missing",                 // undefined label: must error, not panic
+		"movi r1",                             // wrong arity
+		"mul f1, r1, r2",                      // register-class violation
+		"bogus r1, r2",                        // unknown mnemonic
+		"movi r99, 1",                         // register out of range
+		"9bad: nop",                           // bad label
+		"ld r1, 8(r2",                         // malformed memory operand
+		"movi r1, 99999999999999999999999999", // immediate overflow
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := TryAssemble(src)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("TryAssemble returned both a program and error %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("TryAssemble returned nil program without error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("TryAssemble accepted an invalid program: %v\nsource:\n%s", verr, src)
+		}
+		dis := Disassemble(p)
+		p2, err2 := TryAssemble(dis)
+		if err2 != nil {
+			t.Fatalf("disassembly does not reassemble: %v\noriginal:\n%s\ndisassembly:\n%s",
+				err2, src, dis)
+		}
+		if len(p2.Instrs) != len(p.Instrs) {
+			t.Fatalf("round-trip changed length: %d -> %d\ndisassembly:\n%s",
+				len(p.Instrs), len(p2.Instrs), dis)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("round-trip changed instr %d: %+v -> %+v\ndisassembly:\n%s",
+					i, p.Instrs[i], p2.Instrs[i], dis)
+			}
+		}
+		// Disassembly must itself be stable: one more round changes nothing.
+		if dis2 := Disassemble(p2); !strings.Contains(dis2, strings.TrimSpace(dis)) && dis2 != dis {
+			t.Fatalf("disassembly not a fixed point:\n%s\nvs\n%s", dis, dis2)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package mem
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// naiveLookup is an independent 4-level lookup written directly against
+// the radix-tree layout: raw Read64 of root<<PageShift + index*EntrySize
+// at each level, no shared helpers beyond IndexFor. It is the oracle the
+// hardware-style walker must agree with.
+func naiveLookup(as *AddressSpace, va Addr) (pa Addr, faultLevel Level, faulted bool) {
+	table := as.root
+	for l := PGD; l <= PTE; l++ {
+		idx := IndexFor(l, va)
+		e := Entry(as.phys.Read64(table<<PageShift + idx*EntrySize))
+		if !e.Present() {
+			return 0, l, true
+		}
+		table = e.PPN()
+	}
+	return table<<PageShift | va&PageMask, 0, false
+}
+
+// FuzzPageTableWalk replays an arbitrary sequence of map/unmap/
+// clear-present operations (the exact mutations the MicroScope replayer
+// performs on a handle's PTE) and cross-checks Walk/Translate against
+// naiveLookup for every address the sequence touched.
+func FuzzPageTableWalk(f *testing.F) {
+	mk := func(ops ...uint64) []byte {
+		b := make([]byte, 0, len(ops)/2*9)
+		for i := 0; i+1 < len(ops); i += 2 {
+			b = append(b, byte(ops[i]))
+			b = binary.LittleEndian.AppendUint64(b, ops[i+1])
+		}
+		return b
+	}
+	f.Add(mk(0, 0x0100_0000, 3, 0x0100_0000))                                // map then query
+	f.Add(mk(0, 0x0100_0000, 1, 0x0100_0000, 3, 0x0100_0000))                // map, unmap, query
+	f.Add(mk(0, 0x0100_0000, 2, 0x0100_0000, 3, 0x0100_0000))                // map, clear present (replay handle state)
+	f.Add(mk(3, 0xdead_beef_f000))                                           // query unmapped high VA
+	f.Add(mk(0, 0x7fff_ffff_f000, 0, 0x7fff_ffff_e000, 3, 0x7fff_ffff_f123)) // adjacent leaves
+	f.Add(mk(0, 0, 3, 0xfff))                                                // page zero, offset query
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		phys := NewPhysMem(4 << 20)
+		as, err := NewAddressSpace(phys, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const vaMask = uint64(1)<<(PageShift+9*Levels) - 1 // canonical 48-bit VAs
+		var touched []Addr
+		for i := 0; i+9 <= len(data) && len(touched) < 128; i += 9 {
+			op := data[i]
+			va := binary.LittleEndian.Uint64(data[i+1:i+9]) & vaMask
+			switch op % 4 {
+			case 0:
+				// May fail when the 1024-frame physical memory runs out;
+				// the walker must still agree with the oracle afterwards.
+				_, _ = as.MapNew(va, FlagWritable|FlagUser)
+			case 1:
+				_ = as.Unmap(va)
+			case 2:
+				_, _ = as.SetPresent(va, false)
+			case 3:
+				// pure query, recorded below like every other op
+			}
+			touched = append(touched, va)
+		}
+
+		for _, va := range touched {
+			wantPA, wantLevel, wantFault := naiveLookup(as, va)
+
+			steps, werr := as.Walk(va)
+			pa, terr := as.Translate(va)
+			if wantFault {
+				fault, ok := werr.(*Fault)
+				if !ok {
+					t.Fatalf("va %#x: oracle faults at %s, Walk returned %v", va, wantLevel, werr)
+				}
+				if fault.Level != wantLevel {
+					t.Fatalf("va %#x: fault level %s, oracle says %s", va, fault.Level, wantLevel)
+				}
+				if len(steps) != int(wantLevel)+1 {
+					t.Fatalf("va %#x: %d steps for a fault at %s", va, len(steps), wantLevel)
+				}
+				if terr == nil {
+					t.Fatalf("va %#x: Translate succeeded where oracle faults", va)
+				}
+				continue
+			}
+			if werr != nil {
+				t.Fatalf("va %#x: Walk failed (%v) where oracle translates to %#x", va, werr, wantPA)
+			}
+			if terr != nil {
+				t.Fatalf("va %#x: Translate failed (%v) where oracle translates to %#x", va, terr, wantPA)
+			}
+			if pa != wantPA {
+				t.Fatalf("va %#x: Translate=%#x, oracle=%#x", va, pa, wantPA)
+			}
+			if len(steps) != Levels {
+				t.Fatalf("va %#x: complete walk has %d steps, want %d", va, len(steps), Levels)
+			}
+			// The walk's own leaf must reproduce the translation, and the
+			// entry addresses must match the radix-tree arithmetic.
+			if got := steps[PTE].Entry.PPN()<<PageShift | PageOffset(va); got != wantPA {
+				t.Fatalf("va %#x: leaf step implies %#x, oracle=%#x", va, got, wantPA)
+			}
+			table := as.root
+			for l := PGD; l <= PTE; l++ {
+				wantEA := table<<PageShift + IndexFor(l, va)*EntrySize
+				if steps[l].EntryAddr != wantEA {
+					t.Fatalf("va %#x level %s: EntryAddr=%#x, want %#x", va, l, steps[l].EntryAddr, wantEA)
+				}
+				table = steps[l].Entry.PPN()
+			}
+			if pa >= phys.Size() {
+				t.Fatalf("va %#x: translated PA %#x outside physical memory", va, pa)
+			}
+		}
+	})
+}

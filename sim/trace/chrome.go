@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Annotation is a high-level timeline slice layered over the pipeline
+// tracks — e.g. the MicroScope module's replay iterations. Start == End
+// renders as an instant marker, otherwise as a duration slice. Each
+// distinct Track gets its own named thread row in the viewer.
+type Annotation struct {
+	Track string
+	Name  string
+	Start uint64
+	End   uint64
+	Args  map[string]string
+}
+
+// chromeEvent is one entry of the Chrome Trace Event format's JSON array
+// (the subset we emit: complete "X", instant "i" and metadata "M"
+// events). Loadable by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	chromePid = 1
+	// annotationTidBase keeps annotation tracks clear of SMT context tids.
+	annotationTidBase = 100
+)
+
+// ChromeJSON renders the collector's lifecycles, marks and the given
+// annotations as Chrome Trace Event JSON. One simulated cycle maps to
+// one microsecond of trace time (ts is in µs in the format). SMT
+// contexts become threads of process 1; annotation tracks become
+// additional threads named by their Track string, in order of first
+// appearance. Output is byte-deterministic for a given collector state.
+func ChromeJSON(c *Collector, anns []Annotation) ([]byte, error) {
+	f := chromeFile{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+			Args: map[string]any{"name": "microscope core"}},
+	}}
+
+	// Thread metadata for every context that appears in spans or marks.
+	maxCtx := -1
+	for _, s := range c.Spans() {
+		if s.Context > maxCtx {
+			maxCtx = s.Context
+		}
+	}
+	for _, s := range c.OpenSpans() {
+		if s.Context > maxCtx {
+			maxCtx = s.Context
+		}
+	}
+	for _, mk := range c.Marks() {
+		if mk.Context > maxCtx {
+			maxCtx = mk.Context
+		}
+	}
+	for ctx := 0; ctx <= maxCtx; ctx++ {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: ctx,
+			Args: map[string]any{"name": fmt.Sprintf("context %d", ctx)},
+		})
+	}
+
+	emitSpan := func(s Span, end uint64) {
+		dur := uint64(1)
+		if end > s.Fetch {
+			dur = end - s.Fetch
+		}
+		args := map[string]any{
+			"pc":   s.PC,
+			"seq":  s.Seq,
+			"fate": s.Fate.String(),
+		}
+		if s.Issue != NoCycle {
+			args["issue"] = s.Issue
+			args["port"] = s.Port.String()
+		}
+		if s.Complete != NoCycle {
+			args["complete"] = s.Complete
+		}
+		if s.Walk > 0 {
+			args["walk"] = s.Walk
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: s.Instr.String(), Ph: "X", Cat: s.Fate.String(),
+			Ts: s.Fetch, Dur: &dur, Pid: chromePid, Tid: s.Context, Args: args,
+		})
+	}
+	for _, s := range c.Spans() {
+		emitSpan(s, s.End)
+	}
+	for _, s := range c.OpenSpans() {
+		emitSpan(s, c.LastCycle())
+	}
+	for _, mk := range c.Marks() {
+		name := mk.Kind.String()
+		if mk.Detail != "" {
+			name += ": " + mk.Detail
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: name, Ph: "i", S: "t", Ts: mk.Cycle, Pid: chromePid, Tid: mk.Context,
+			Args: map[string]any{"pc": mk.PC, "seq": mk.Seq},
+		})
+	}
+
+	// Annotation tracks, tids assigned by first appearance.
+	trackTid := map[string]int{}
+	trackOrder := []string{}
+	for _, a := range anns {
+		tid, ok := trackTid[a.Track]
+		if !ok {
+			tid = annotationTidBase + len(trackOrder)
+			trackTid[a.Track] = tid
+			trackOrder = append(trackOrder, a.Track)
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+				Args: map[string]any{"name": a.Track},
+			})
+		}
+		var args map[string]any
+		if len(a.Args) > 0 {
+			args = make(map[string]any, len(a.Args))
+			for k, v := range a.Args {
+				args[k] = v
+			}
+		}
+		if a.End > a.Start {
+			dur := a.End - a.Start
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: a.Name, Ph: "X", Ts: a.Start, Dur: &dur,
+				Pid: chromePid, Tid: tid, Args: args,
+			})
+		} else {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: a.Name, Ph: "i", S: "t", Ts: a.Start,
+				Pid: chromePid, Tid: tid, Args: args,
+			})
+		}
+	}
+
+	return json.MarshalIndent(&f, "", " ")
+}
+
+// WriteChrome writes ChromeJSON output to w.
+func WriteChrome(w io.Writer, c *Collector, anns []Annotation) error {
+	data, err := ChromeJSON(c, anns)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateChrome checks that data is a well-formed Chrome Trace Event
+// JSON object of the subset this package emits: a traceEvents array
+// whose entries all carry a name, a known phase, and pid/tid/ts fields;
+// complete events must carry a duration. Used by the schema tests and
+// available to external consumers.
+func ValidateChrome(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("chrome trace: empty traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		name, ok := ev["name"].(string)
+		if !ok || name == "" {
+			return fmt.Errorf("chrome trace: event %d: missing name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("chrome trace: event %d (%s): missing ph", i, name)
+		}
+		switch ph {
+		case "X", "i", "M":
+		default:
+			return fmt.Errorf("chrome trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+		for _, k := range []string{"pid", "tid"} {
+			if _, ok := ev[k].(float64); !ok {
+				return fmt.Errorf("chrome trace: event %d (%s): missing %s", i, name, k)
+			}
+		}
+		if ph == "M" {
+			continue
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			return fmt.Errorf("chrome trace: event %d (%s): missing ts", i, name)
+		}
+		if ph == "X" {
+			if d, ok := ev["dur"].(float64); !ok || d < 0 {
+				return fmt.Errorf("chrome trace: event %d (%s): complete event needs dur >= 0", i, name)
+			}
+		}
+		if ph == "i" {
+			if s, ok := ev["s"].(string); !ok || (s != "t" && s != "p" && s != "g") {
+				return fmt.Errorf("chrome trace: event %d (%s): instant event needs scope t/p/g", i, name)
+			}
+		}
+	}
+	return nil
+}

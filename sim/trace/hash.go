@@ -1,0 +1,82 @@
+package trace
+
+import "microscope/sim/cpu"
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hasher folds the canonical pipeline event stream into a stable FNV-1a
+// 64-bit digest. Two runs produce the same Sum64 iff they emitted the
+// same events — every field of every cpu.Event, in order — which is the
+// one-line equivalence assertion used by the fast-forward differential
+// suite and the golden-trace regressions.
+//
+// The encoding is fixed (little-endian field values separated per event)
+// and intentionally independent of Go's fmt formatting, so the digest
+// only moves when the simulator's behaviour does. Trace performs no
+// allocations, so a Hasher can stay attached to multi-million-cycle runs
+// and to allocation-guard benchmarks.
+type Hasher struct {
+	sum    uint64
+	events uint64
+}
+
+// NewHasher returns a Hasher primed with the FNV offset basis.
+func NewHasher() *Hasher { return &Hasher{sum: fnvOffset} }
+
+// Trace implements cpu.Tracer.
+func (h *Hasher) Trace(ev cpu.Event) {
+	h.events++
+	x := h.sum
+	x = fnvWord(x, ev.Cycle)
+	x = fnvWord(x, uint64(int64(ev.Context)))
+	x = fnvWord(x, uint64(int64(ev.Kind)))
+	x = fnvWord(x, uint64(int64(ev.PC)))
+	x = fnvWord(x, ev.Seq)
+	x = fnvWord(x, uint64(int64(ev.Walk)))
+	x = fnvWord(x, uint64(int64(ev.Port)))
+	x = fnvWord(x, uint64(int64(ev.Instr.Op)))
+	x = fnvWord(x, uint64(int64(ev.Instr.Rd)))
+	x = fnvWord(x, uint64(int64(ev.Instr.Rs1)))
+	x = fnvWord(x, uint64(int64(ev.Instr.Rs2)))
+	x = fnvWord(x, uint64(ev.Instr.Imm))
+	x = fnvWord(x, uint64(int64(ev.Instr.Target)))
+	x = fnvString(x, ev.Instr.Label)
+	x = fnvString(x, ev.Detail)
+	h.sum = x
+}
+
+// Sum64 returns the digest of the events observed so far.
+func (h *Hasher) Sum64() uint64 { return h.sum }
+
+// Events counts the events folded in.
+func (h *Hasher) Events() uint64 { return h.events }
+
+// Reset returns the Hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.sum = fnvOffset
+	h.events = 0
+}
+
+// fnvWord folds the 8 little-endian bytes of v into x.
+func fnvWord(x, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnvPrime
+		v >>= 8
+	}
+	return x
+}
+
+// fnvString folds s, length-prefixed so adjacent strings can't alias.
+func fnvString(x uint64, s string) uint64 {
+	x = fnvWord(x, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime
+	}
+	return x
+}

@@ -1,0 +1,34 @@
+package trace
+
+import "microscope/sim/cpu"
+
+// multi fans one event stream out to several tracers.
+type multi []cpu.Tracer
+
+// Trace implements cpu.Tracer.
+func (m multi) Trace(ev cpu.Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// Tee combines tracers into one, dropping nils. It returns nil when
+// nothing remains — safe to pass straight to Core.SetTracer, keeping the
+// core on its zero-overhead detached path — and returns a lone survivor
+// unwrapped, avoiding a fan-out indirection for the common single-sink
+// case.
+func Tee(tracers ...cpu.Tracer) cpu.Tracer {
+	var live multi
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

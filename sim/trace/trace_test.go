@@ -1,0 +1,307 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/cpu/cputest"
+	"microscope/sim/isa"
+	"microscope/sim/trace"
+)
+
+// runCore executes one generated program on a fresh core with the given
+// tracer attached, returning the core for inspection.
+func runCore(t *testing.T, seed int64, alias bool, tr cpu.Tracer) *cpu.Core {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var prog *isa.Program
+	if alias {
+		prog = cputest.GenAliasProgram(rng)
+	} else {
+		prog = cputest.GenProgram(rng)
+	}
+	as, err := cputest.NewDataSpace(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+	core.Context(0).SetAddressSpace(as)
+	core.Context(0).SetProgram(prog, 0)
+	core.SetTracer(tr)
+	core.Run(20_000_000)
+	if !core.Context(0).Halted() {
+		t.Fatalf("seed %d: core did not halt", seed)
+	}
+	return core
+}
+
+func TestCollectorLifecycles(t *testing.T) {
+	col := trace.NewCollector(0)
+	core := runCore(t, 3, false, col)
+
+	if len(col.OpenSpans()) != 0 {
+		t.Errorf("%d spans still open after halt", len(col.OpenSpans()))
+	}
+	spans := col.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no lifecycles collected")
+	}
+	var retired uint64
+	for _, s := range spans {
+		if s.Fate == trace.FateRetired {
+			retired++
+			if s.Issue == trace.NoCycle || s.Complete == trace.NoCycle {
+				t.Fatalf("retired span seq %d missing issue/complete", s.Seq)
+			}
+			if !(s.Fetch <= s.Issue && s.Issue <= s.Complete && s.Complete <= s.End) {
+				t.Fatalf("seq %d: non-monotonic lifecycle %d/%d/%d/%d",
+					s.Seq, s.Fetch, s.Issue, s.Complete, s.End)
+			}
+		}
+		if s.Fate == trace.FateOpen || s.End == trace.NoCycle {
+			t.Fatalf("closed span seq %d still marked open", s.Seq)
+		}
+	}
+	if want := core.Context(0).Stats().Retired; retired != want {
+		t.Errorf("collector saw %d retirements, stats say %d", retired, want)
+	}
+	if sq := core.Context(0).Stats().Squashed; sq > 0 {
+		var squashed uint64
+		for _, s := range spans {
+			if s.Fate == trace.FateSquashed {
+				squashed++
+			}
+		}
+		if squashed == 0 {
+			t.Errorf("stats report %d squashed entries but no squashed spans", sq)
+		}
+	}
+}
+
+func TestCollectorRingBounds(t *testing.T) {
+	col := trace.NewCollector(8)
+	runCore(t, 3, false, col)
+	if n := len(col.Spans()); n > 8 {
+		t.Errorf("ring holds %d spans, capacity 8", n)
+	}
+	if col.DroppedSpans() == 0 {
+		t.Error("expected the small ring to drop spans")
+	}
+	if col.TotalSpans() != col.DroppedSpans()+uint64(len(col.Spans())) {
+		t.Error("total/dropped/len accounting inconsistent")
+	}
+	// The ring must retain the most recent spans: the newest closed span
+	// survives in the last position.
+	spans := col.Spans()
+	last := spans[len(spans)-1]
+	if last.End == trace.NoCycle || last.End < spans[0].End {
+		t.Error("ring is not oldest-first")
+	}
+}
+
+func TestHasherStableAndSensitive(t *testing.T) {
+	h1 := trace.NewHasher()
+	runCore(t, 7, false, h1)
+	h2 := trace.NewHasher()
+	runCore(t, 7, false, h2)
+	if h1.Sum64() != h2.Sum64() || h1.Events() != h2.Events() {
+		t.Errorf("identical runs hash differently: %#x/%d vs %#x/%d",
+			h1.Sum64(), h1.Events(), h2.Sum64(), h2.Events())
+	}
+	h3 := trace.NewHasher()
+	runCore(t, 8, false, h3)
+	if h3.Sum64() == h1.Sum64() {
+		t.Error("different programs produced the same trace hash")
+	}
+	h1.Reset()
+	if h1.Sum64() == h2.Sum64() && h2.Events() > 0 {
+		t.Error("Reset did not clear the digest")
+	}
+}
+
+func TestMetricsAggregates(t *testing.T) {
+	m := trace.NewMetrics()
+	m.ROBSize = cpu.DefaultConfig().ROBSize
+	core := runCore(t, 1001, true, m)
+
+	st := core.Context(0).Stats()
+	if m.Count(cpu.EvFetch) != st.Fetched {
+		t.Errorf("fetched: metrics %d vs stats %d", m.Count(cpu.EvFetch), st.Fetched)
+	}
+	if m.Count(cpu.EvRetire) != st.Retired {
+		t.Errorf("retired: metrics %d vs stats %d", m.Count(cpu.EvRetire), st.Retired)
+	}
+	if m.Count(cpu.EvIssue) == 0 {
+		t.Error("no issue events aggregated")
+	}
+	if m.Cycles() == 0 {
+		t.Error("metrics observed no cycles")
+	}
+}
+
+func TestMetricsRenderingDeterministic(t *testing.T) {
+	render := func() (string, []byte) {
+		m := trace.NewMetrics()
+		m.ROBSize = cpu.DefaultConfig().ROBSize
+		runCore(t, 1002, true, m)
+		text := m.Text()
+		js, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return text, js
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Errorf("text rendering not byte-deterministic:\n%s\nvs\n%s", t1, t2)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSON rendering not byte-deterministic")
+	}
+}
+
+func TestChromeExportValidates(t *testing.T) {
+	col := trace.NewCollector(0)
+	runCore(t, 1000, true, col)
+	anns := []trace.Annotation{
+		{Track: "replayer", Name: "replay 1", Start: 100, End: 900,
+			Args: map[string]string{"va": "0x1000"}},
+		{Track: "replayer", Name: "release", Start: 900, End: 900},
+	}
+	data, err := trace.ChromeJSON(col, anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	// Determinism: the same collector state exports identical bytes.
+	again, err := trace.ChromeJSON(col, anns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("chrome export not byte-deterministic")
+	}
+}
+
+func TestValidateChromeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"ph":"X"}]}`,
+		`{"traceEvents":[{"name":"a","ph":"Q","pid":1,"tid":0,"ts":0}]}`,
+		`{"traceEvents":[{"name":"a","ph":"X","pid":1,"tid":0,"ts":0}]}`,
+	}
+	for _, c := range cases {
+		if err := trace.ValidateChrome([]byte(c)); err == nil {
+			t.Errorf("ValidateChrome accepted %q", c)
+		}
+	}
+}
+
+func TestTee(t *testing.T) {
+	if tr := trace.Tee(nil, nil); tr != nil {
+		t.Error("Tee of nils must be nil")
+	}
+	h := trace.NewHasher()
+	if tr := trace.Tee(nil, h); tr != cpu.Tracer(h) {
+		t.Error("Tee with one live sink must return it unwrapped")
+	}
+	h2 := trace.NewHasher()
+	tee := trace.Tee(h, h2)
+	runCore(t, 5, false, tee)
+	if h.Sum64() != h2.Sum64() || h.Events() == 0 {
+		t.Error("tee did not fan events out to both sinks")
+	}
+}
+
+// TestTracingAddsNoAllocations is the acceptance guard for the
+// zero-overhead claim: attaching and detaching observability must leave
+// the hot loop's allocation profile exactly as it was, and a Hasher
+// (designed alloc-free) must add nothing while attached.
+func TestTracingAddsNoAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prog := cputest.GenProgram(rng)
+	run := func(attach func(*cpu.Core)) float64 {
+		return testing.AllocsPerRun(5, func() {
+			as, err := cputest.NewDataSpace(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+			core.Context(0).SetAddressSpace(as)
+			core.Context(0).SetProgram(prog, 0)
+			attach(core)
+			core.Run(20_000_000)
+		})
+	}
+	baseline := run(func(*cpu.Core) {})
+	scratch := trace.NewHasher()
+	detached := run(func(c *cpu.Core) {
+		c.SetTracer(scratch)
+		c.SetTracer(nil)
+	})
+	if detached != baseline {
+		t.Errorf("attach+detach changed hot-loop allocations: %v vs baseline %v",
+			detached, baseline)
+	}
+	h := trace.NewHasher()
+	hashed := run(func(c *cpu.Core) {
+		h.Reset()
+		c.SetTracer(h)
+	})
+	if hashed != baseline {
+		t.Errorf("attached Hasher added allocations: %v vs baseline %v",
+			hashed, baseline)
+	}
+	if h.Events() == 0 {
+		t.Error("hasher observed no events — the guard is vacuous")
+	}
+}
+
+// TestHasherTraceZeroAlloc pins the Hasher's per-event cost directly.
+func TestHasherTraceZeroAlloc(t *testing.T) {
+	h := trace.NewHasher()
+	ev := cpu.Event{
+		Cycle: 12, Context: 1, Kind: cpu.EvIssue, PC: 7, Seq: 99,
+		Instr: isa.Instr{Op: isa.OpMul, Rd: isa.R1, Rs1: isa.R2, Rs2: isa.R3},
+		Walk:  4, Detail: "x",
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Trace(ev) }); n != 0 {
+		t.Errorf("Hasher.Trace allocates %v per event", n)
+	}
+}
+
+func BenchmarkRunDetached(b *testing.B) {
+	benchRun(b, nil)
+}
+
+func BenchmarkRunHashed(b *testing.B) {
+	benchRun(b, trace.NewHasher())
+}
+
+func BenchmarkRunCollected(b *testing.B) {
+	benchRun(b, trace.NewCollector(4096))
+}
+
+func benchRun(b *testing.B, tr cpu.Tracer) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(5))
+	prog := cputest.GenProgram(rng)
+	for i := 0; i < b.N; i++ {
+		as, err := cputest.NewDataSpace(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+		core.Context(0).SetAddressSpace(as)
+		core.Context(0).SetProgram(prog, 0)
+		core.SetTracer(tr)
+		core.Run(20_000_000)
+	}
+}
