@@ -63,6 +63,17 @@ func (c Channel) String() string {
 // MarshalText renders the channel for JSON/text reports.
 func (c Channel) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
 
+// UnmarshalText parses a report label, so JSON reports round-trip.
+func (c *Channel) UnmarshalText(b []byte) error {
+	for ch := Channel(0); int(ch) < NumChannels; ch++ {
+		if ch.String() == string(b) {
+			*c = ch
+			return nil
+		}
+	}
+	return fmt.Errorf("sidechan: unknown channel %q", b)
+}
+
 // opChannels is the total Op -> primary Channel map. Ops absent from the
 // map default to ChanNone; the taxonomy test asserts every defined op is
 // listed here explicitly so new ops cannot go silently unclassified.

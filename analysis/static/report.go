@@ -3,6 +3,7 @@ package static
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"microscope/analysis/sidechan"
@@ -39,6 +40,26 @@ type Report struct {
 
 // HasFindings reports whether the scan surfaced anything.
 func (r *Report) HasFindings() bool { return len(r.Findings) > 0 }
+
+// Sort orders the findings canonically: by instruction index, then
+// channel, then descending severity, then covering handle. Analyze
+// calls it before returning, so reports — and their JSON and text
+// encodings — are byte-stable regardless of how the analysis passes
+// enumerate findings.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		switch {
+		case a.Index != b.Index:
+			return a.Index < b.Index
+		case a.Channel != b.Channel:
+			return a.Channel < b.Channel
+		case a.Severity != b.Severity:
+			return a.Severity > b.Severity
+		}
+		return a.Handle < b.Handle
+	})
+}
 
 // FindingsAt returns the findings anchored at instruction index i.
 func (r *Report) FindingsAt(i int) []Finding {

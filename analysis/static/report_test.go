@@ -1,0 +1,31 @@
+package static
+
+import (
+	"testing"
+
+	"microscope/analysis/sidechan"
+)
+
+// Sort must impose the documented canonical order on a shuffled slice.
+func TestReportSortCanonicalOrder(t *testing.T) {
+	r := &Report{Findings: []Finding{
+		{Index: 7, Channel: sidechan.ChanPort, Severity: SevMedium, Handle: 2},
+		{Index: 3, Channel: sidechan.ChanLatency, Severity: SevHigh, Handle: 1},
+		{Index: 7, Channel: sidechan.ChanCacheSet, Severity: SevHigh, Handle: 2},
+		{Index: 3, Channel: sidechan.ChanLatency, Severity: SevMedium, Handle: 1},
+		{Index: 7, Channel: sidechan.ChanCacheSet, Severity: SevHigh, Handle: 0},
+	}}
+	r.Sort()
+	want := []Finding{
+		{Index: 3, Channel: sidechan.ChanLatency, Severity: SevHigh, Handle: 1},
+		{Index: 3, Channel: sidechan.ChanLatency, Severity: SevMedium, Handle: 1},
+		{Index: 7, Channel: sidechan.ChanCacheSet, Severity: SevHigh, Handle: 0},
+		{Index: 7, Channel: sidechan.ChanCacheSet, Severity: SevHigh, Handle: 2},
+		{Index: 7, Channel: sidechan.ChanPort, Severity: SevMedium, Handle: 2},
+	}
+	for i := range want {
+		if r.Findings[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, r.Findings[i], want[i])
+		}
+	}
+}

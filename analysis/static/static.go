@@ -128,5 +128,6 @@ func Analyze(name string, p *isa.Program, sec Secrets, cfg Config) (*Report, err
 		Window:  cfg.window(),
 	}
 	r.Findings = findings(g, ti, cfg)
+	r.Sort()
 	return r, nil
 }

@@ -1,0 +1,123 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"microscope/attack/victim"
+	"microscope/sim/isa"
+)
+
+// Fence repair in the spirit of Sakalis et al.'s delay-on-speculation:
+// a leaking program is patched by inserting fences that keep every
+// secret-dependent transmitter from issuing speculatively. In this
+// simulator a fence blocks all younger dispatch until it retires, and a
+// fence inside a faulting handle's squash shadow never retires — so a
+// fence placed immediately before a secret-dependent access starves the
+// whole replayed shadow behind it.
+//
+// The plan, derived from the abstract exploration:
+//
+//   - a fence immediately before every channel-bearing instruction that
+//     ever executes with tainted operands (tainted-address loads and
+//     stores, tainted divides, rdrand), whether or not a replay shadow
+//     was open — ordinary branch-mispredict shadows expose them too;
+//   - a fence at BOTH successors (fall-through and target) of every
+//     branch whose condition ever carried taint, so neither side of a
+//     secret branch can issue transiently and the branch direction
+//     stops being projectable.
+//
+// Inserting fences shifts pcs and can change what the exploration sees
+// (e.g. modexp's untainted pivot loads are themselves replay handles
+// that reopen shadows over the next iteration), so planning is iterated
+// — explore, patch, re-explore — until a round proposes nothing new,
+// then the patched program goes through the full verifier, differential
+// included. A successful repair therefore terminates in a PROVEN-SAFE
+// verdict with its own certificate.
+
+// maxRepairRounds bounds the explore/patch iteration.
+const maxRepairRounds = 8
+
+// RepairResult describes one repair attempt.
+type RepairResult struct {
+	// Rounds is the number of patch rounds applied, Inserted the total
+	// fences added, Fences their pcs in the final program.
+	Rounds   int   `json:"rounds"`
+	Inserted int   `json:"inserted"`
+	Fences   []int `json:"fences"`
+	// Result is the full verification of the repaired program.
+	Result *Result `json:"result"`
+	// Layout carries the repaired program (regions unchanged).
+	Layout *victim.Layout `json:"-"`
+}
+
+// Repair iteratively fences the subject and re-verifies the patched
+// program. It does not modify sub.
+func Repair(sub *Subject, cfg Config) (*RepairResult, error) {
+	lay := *sub.Layout
+	lay.Name = sub.Layout.Name + "+fences"
+	rr := &RepairResult{}
+
+	for round := 0; round < maxRepairRounds; round++ {
+		cur := &Subject{Layout: &lay, Secrets: sub.Secrets, Handle: sub.Handle}
+		ex, err := explore(cur, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plan := repairPoints(ex)
+		if len(plan) == 0 {
+			break
+		}
+		patched, _, err := isa.InsertBefore(lay.Prog, plan, isa.Instr{Op: isa.OpFence})
+		if err != nil {
+			return nil, fmt.Errorf("verify: repair round %d: %v", round, err)
+		}
+		// Entry follows target semantics: it lands on a guard fence
+		// inserted at the entry point (executing it first is harmless).
+		shift := sort.SearchInts(plan, lay.Entry)
+		lay.Entry += shift
+		lay.Prog = patched
+		rr.Rounds++
+		rr.Inserted += len(plan)
+	}
+
+	for pc, in := range lay.Prog.Instrs {
+		if in.Op == isa.OpFence {
+			rr.Fences = append(rr.Fences, pc)
+		}
+	}
+	res, err := Verify(&Subject{Layout: &lay, Secrets: sub.Secrets, Handle: sub.Handle}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rr.Result = res
+	rr.Layout = &lay
+	return rr, nil
+}
+
+// repairPoints derives this round's sorted fence insertion points from
+// the exploration, skipping points that are already guarded.
+func repairPoints(ex *explorer) []int {
+	prog := ex.prog
+	set := make(map[int]bool)
+	for pc := range ex.hotOps {
+		if pc > 0 && prog.Instrs[pc-1].Op == isa.OpFence {
+			continue // already guarded
+		}
+		set[pc] = true
+	}
+	for bpc := range ex.taintedBranches {
+		in := prog.Instrs[bpc]
+		for _, s := range []int{bpc + 1, in.Target} {
+			if s >= 0 && s < prog.Len() && prog.Instrs[s].Op != isa.OpFence {
+				set[s] = true
+			}
+		}
+	}
+	plan := make([]int, 0, len(set))
+	for pc := range set {
+		plan = append(plan, pc)
+	}
+	sort.Ints(plan)
+	return plan
+}

@@ -1,0 +1,183 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Counterexample-guided witness search and the randomized differential.
+//
+// A site names the secret atoms it depends on; the search instantiates
+// those atoms with a short list of contrasting value pairs (chosen to
+// hit every channel family: distinct cache lines, subnormal vs normal
+// floats, all-ones vs zero bit patterns, distinct RDRAND seeds), runs
+// both assignments through the full replay attack, and accepts the
+// first pair whose projections diverge on the site's claimed channel.
+// The differential, conversely, draws Config.Trials whole-domain random
+// valuations of ALL atoms and demands every projection equal the
+// baseline's — the dynamic half of a PROVEN-SAFE certificate.
+
+// valuePair is one contrasting valuation applied to a site's atoms.
+type valuePair struct {
+	a, b         uint64 // reg/mem atom values
+	seedA, seedB uint64 // rand atom seeds
+	hasSeed      bool
+}
+
+func witnessPairs() []valuePair {
+	return []valuePair{
+		// Distinct small values: adjacent cache lines for shifted
+		// indices, subnormal (1) vs zero for FP bit patterns.
+		{a: 0, b: 1, seedA: 1, seedB: 2, hasSeed: true},
+		// Normal float vs smallest subnormal: the Fig. 5 latency split.
+		{a: math.Float64bits(2.0), b: 1, seedA: 0x5ca1ab1e, seedB: 0xfeedface, hasSeed: true},
+		// Extremal bit patterns: flips every secret bit, including the
+		// high bits MSB-first loops (modexp) consume in their first —
+		// and only replayed — iterations.
+		{a: 0, b: ^uint64(0), seedA: 3, seedB: 0x9e3779b97f4a7c15, hasSeed: true},
+	}
+}
+
+// assignmentsFor turns a site's atom set and one value pair into the
+// two assignments to contrast. ok is false when the site has no
+// targetable atoms (only the overflow pseudo-atom).
+func assignmentsFor(atoms []Atom, p valuePair) (a, b Assignment, ok bool) {
+	for _, at := range atoms {
+		switch at.Kind {
+		case "reg":
+			a.Regs = append(a.Regs, RegVal{Reg: at.Reg, Val: p.a})
+			b.Regs = append(b.Regs, RegVal{Reg: at.Reg, Val: p.b})
+		case "mem":
+			a.Mems = append(a.Mems, MemVal{Addr: at.Addr, Val: p.a})
+			b.Mems = append(b.Mems, MemVal{Addr: at.Addr, Val: p.b})
+		case "rand":
+			if p.hasSeed {
+				a.Seed, a.SeedSet = p.seedA, true
+				b.Seed, b.SeedSet = p.seedB, true
+			}
+		}
+	}
+	canonicalize(&a)
+	canonicalize(&b)
+	ok = len(a.Regs) > 0 || len(a.Mems) > 0 || a.SeedSet
+	return a, b, ok
+}
+
+func canonicalize(a *Assignment) {
+	sort.Slice(a.Regs, func(i, j int) bool { return a.Regs[i].Reg < a.Regs[j].Reg })
+	sort.Slice(a.Mems, func(i, j int) bool { return a.Mems[i].Addr < a.Mems[j].Addr })
+}
+
+// searchWitness tries to dynamically confirm one of the abstract sites.
+// It returns the first witness whose two runs diverge on the site's
+// claimed channel, or nil with the last run error (if any) when the
+// pair budget is exhausted.
+func (r *runner) searchWitness(sites []Site) (*Witness, error) {
+	var lastErr error
+	budget := r.cfg.MaxWitnessPairs
+	for _, site := range sites {
+		for _, p := range witnessPairs() {
+			if budget <= 0 {
+				return nil, lastErr
+			}
+			asgA, asgB, ok := assignmentsFor(site.Atoms, p)
+			if !ok {
+				break // no targetable atoms; further pairs won't help
+			}
+			budget--
+			projA, errA := r.run(asgA)
+			if errA != nil {
+				lastErr = errA
+				continue
+			}
+			projB, errB := r.run(asgB)
+			if errB != nil {
+				lastErr = errB
+				continue
+			}
+			if channelDigest(projA, site.Channel) != channelDigest(projB, site.Channel) {
+				return &Witness{
+					SitePC:  site.PC,
+					Channel: site.Channel,
+					A:       asgA,
+					B:       asgB,
+					ProjA:   projA,
+					ProjB:   projB,
+				}, nil
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// differential runs the baseline plus Config.Trials randomized secret
+// valuations. Equal projections everywhere yield a Certificate; any
+// divergence yields a Witness (SitePC -1: found by the differential,
+// not site-guided search).
+func (r *runner) differential(trials int) (*Certificate, *Witness, error) {
+	base, err := r.run(Assignment{})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	for i := 0; i < trials; i++ {
+		asg := r.randomAssignment(rng)
+		proj, err := r.run(asg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if !proj.Equal(base) {
+			ch, _ := divergingChannel(base, proj)
+			return nil, &Witness{
+				SitePC:  -1,
+				Channel: ch,
+				A:       Assignment{},
+				B:       asg,
+				ProjA:   base,
+				ProjB:   proj,
+			}, nil
+		}
+	}
+	return &Certificate{Trials: trials, Baseline: base}, nil, nil
+}
+
+// randomAssignment draws whole-domain random values for every secret
+// atom the exploration touched, plus every declared secret input the
+// exploration may not have reached (secret-home registers always get a
+// value so the differential never silently under-constrains).
+func (r *runner) randomAssignment(rng *rand.Rand) Assignment {
+	var asg Assignment
+	seen := make(map[isa.Reg]bool)
+	seenMem := make(map[mem.Addr]bool)
+	if r.ex != nil {
+		for _, at := range r.ex.atoms.atoms {
+			switch at.Kind {
+			case "reg":
+				if !seen[at.Reg] {
+					seen[at.Reg] = true
+					asg.Regs = append(asg.Regs, RegVal{Reg: at.Reg, Val: rng.Uint64()})
+				}
+			case "mem":
+				if !seenMem[at.Addr] {
+					seenMem[at.Addr] = true
+					asg.Mems = append(asg.Mems, MemVal{Addr: at.Addr, Val: rng.Uint64()})
+				}
+			case "rand":
+				asg.Seed, asg.SeedSet = rng.Uint64(), true
+			}
+		}
+	}
+	for _, reg := range r.sub.Secrets.Regs {
+		if !seen[reg] {
+			seen[reg] = true
+			asg.Regs = append(asg.Regs, RegVal{Reg: reg, Val: rng.Uint64()})
+		}
+	}
+	canonicalize(&asg)
+	return asg
+}

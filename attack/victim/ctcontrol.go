@@ -1,0 +1,65 @@
+package victim
+
+import (
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// ConstantTime builds the negative control for the verifier: a victim
+// that genuinely handles a secret — loading it and selecting between
+// two public operands on its low bit — without any secret-dependent
+// address, branch, divide or randomness. The selection is branchless
+// (mask = -(secret & 1), result = (a & mask) | (b & ~mask)), so every
+// replay of the handle's squash shadow re-executes an identical
+// footprint: the same cache lines, no divider occupancy, no variable
+// latency. MicroScope can replay it forever and learn nothing; the
+// verifier must classify it PROVEN-SAFE.
+//
+// Symbols: handle, secret, operands, out. Marks: handle, select.
+func ConstantTime() *Layout {
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(handlePage)).
+		MovImm(isa.R2, int64(secretPage)).
+		MovImm(isa.R3, int64(operandPage)).
+		MovImm(isa.R8, int64(outPage)).
+		Load(isa.R4, isa.R2, 0). // secret (fixed address)
+		Load(isa.R5, isa.R3, 0). // public operand a
+		Load(isa.R6, isa.R3, 8)  // public operand b
+
+	marks := map[string]int{}
+	marks["handle"] = b.Here()
+	b.Load(isa.R7, isa.R1, 0) // REPLAY HANDLE (public address)
+	marks["select"] = b.Here()
+	b.AndImm(isa.R9, isa.R4, 1). // bit = secret & 1
+					Sub(isa.R9, isa.R0, isa.R9).   // mask = -bit (0 or all-ones)
+					MovImm(isa.R11, -1).           //
+					Xor(isa.R11, isa.R9, isa.R11). // ~mask
+					And(isa.R10, isa.R5, isa.R9).  // a & mask
+					And(isa.R11, isa.R6, isa.R11). // b & ~mask
+					Or(isa.R12, isa.R10, isa.R11). // constant-time select
+					Xor(isa.R12, isa.R12, isa.R7). // fold in the handle value
+					Store(isa.R12, isa.R8, 0).     // fixed public address
+					Halt()
+
+	return &Layout{
+		Name:          "ctcontrol",
+		Prog:          b.MustBuild(),
+		Marks:         marks,
+		SecretRegions: []string{"secret"},
+		Symbols: map[string]mem.Addr{
+			"handle":   handlePage,
+			"secret":   secretPage,
+			"operands": operandPage,
+			"out":      outPage,
+		},
+		Regions: []Region{
+			{Name: "handle", VA: handlePage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{0xabcd})},
+			{Name: "secret", VA: secretPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{1})},
+			{Name: "operands", VA: operandPage, Size: mem.PageSize, Flags: rw,
+				Init: u64Bytes([]uint64{0x1111_2222, 0x3333_4444})},
+			{Name: "out", VA: outPage, Size: mem.PageSize, Flags: rw},
+		},
+	}
+}

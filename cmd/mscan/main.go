@@ -1,81 +1,151 @@
-// Command mscan statically triages a victim program for MicroScope
-// replay vulnerabilities, without running a simulation. It builds the
-// program's CFG, runs taint dataflow from the declared secrets, and
+// Command mscan triages a victim program for MicroScope replay
+// vulnerabilities. In its default mode it is a static scanner: it builds
+// the program's CFG, runs taint dataflow from the declared secrets, and
 // reports every instruction that sits in the squash shadow of a replay
 // handle with a secret-dependent resource footprint, labelled by leak
 // channel (cache-set, port, latency, random-replay).
+//
+// With -prove it becomes a verifier: a path-sensitive abstract
+// interpretation classifies the program PROVEN-SAFE, LEAKY or UNKNOWN,
+// and every definite verdict is checked against the cycle-level
+// simulator — LEAKY ships two concrete secret assignments whose replay
+// runs diverge on the claimed channel, PROVEN-SAFE ships a randomized
+// differential certificate. -repair additionally proposes fence
+// insertions and re-verifies the patched program.
 //
 // Scan a built-in victim:
 //
 //	mscan -victim aes
 //	mscan -victim modexp -json
 //
+// Verify and repair:
+//
+//	mscan -victim controlflow -prove -witness
+//	mscan -victim singlesecret -prove -repair -json
+//
 // Scan an assembly file, declaring the secrets by hand:
 //
 //	mscan -asm prog.s -secret-mem 0x41000000:0x41001000 -secret-reg r5
 //
-// Exit status: 0 on a clean program, 1 when findings exist and -fail is
-// set, 2 on usage or input errors.
+// Exit status, when -fail is set (for CI use):
+//
+//	0  clean scan / PROVEN-SAFE
+//	1  findings exist (scan mode) or verdict LEAKY (-prove)
+//	2  verdict UNKNOWN (-prove)
+//
+// Usage and input errors always exit 3. Without -fail the exit status is
+// 0 whenever a report was produced. Under -prove -repair the exit code
+// reflects the original program's verdict; the repair outcome is
+// informational.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"microscope/analysis/static"
+	"microscope/analysis/verify"
 	"microscope/attack/victim"
 	"microscope/sim/isa"
 )
 
-var (
-	victimName = flag.String("victim", "", "scan a built-in victim: "+strings.Join(victimNames(), ", "))
-	asmPath    = flag.String("asm", "", "scan an assembly file (see sim/isa syntax)")
-	robWindow  = flag.Int("rob", 0, "squash-shadow depth in instructions (0: default core ROB size)")
-	jsonOut    = flag.Bool("json", false, "emit the report as JSON")
-	failOnHit  = flag.Bool("fail", false, "exit non-zero when findings exist (for CI use)")
-	secretRegs = flag.String("secret-reg", "", "comma-separated secret registers for -asm input (e.g. r5,r7)")
-	secretMems = flag.String("secret-mem", "", "comma-separated secret ranges lo:hi for -asm input (hex accepted)")
-	noRdrand   = flag.Bool("no-rdrand-taint", false, "do not treat RDRAND results as secrets")
-)
+// options carries the parsed command line; run takes it explicitly so
+// tests can exercise every mode and exit code without a subprocess.
+type options struct {
+	victim string
+	asm    string
+	rob    int
+	json   bool
+	fail   bool
+
+	secretRegs string
+	secretMems string
+	noRdrand   bool
+
+	prove        bool
+	repair       bool
+	witness      bool
+	handle       string
+	trials       int
+	witnessPairs int
+	maxPaths     int
+}
+
+func newFlagSet() *flag.FlagSet {
+	return flag.NewFlagSet("mscan", flag.ContinueOnError)
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
+	var o options
+	fs.StringVar(&o.victim, "victim", "", "scan a built-in victim: "+strings.Join(victimNames(), ", "))
+	fs.StringVar(&o.asm, "asm", "", "scan an assembly file (see sim/isa syntax)")
+	fs.IntVar(&o.rob, "rob", 0, "squash-shadow depth in instructions (0: default core ROB size)")
+	fs.BoolVar(&o.json, "json", false, "emit the report as JSON")
+	fs.BoolVar(&o.fail, "fail", false, "exit 1 on findings/LEAKY and 2 on UNKNOWN (for CI use)")
+	fs.StringVar(&o.secretRegs, "secret-reg", "", "comma-separated secret registers for -asm input (e.g. r5,r7)")
+	fs.StringVar(&o.secretMems, "secret-mem", "", "comma-separated secret ranges lo:hi for -asm input (hex accepted)")
+	fs.BoolVar(&o.noRdrand, "no-rdrand-taint", false, "do not treat RDRAND results as secrets")
+	fs.BoolVar(&o.prove, "prove", false, "run the verifier: classify PROVEN-SAFE / LEAKY / UNKNOWN with simulator-checked evidence")
+	fs.BoolVar(&o.repair, "repair", false, "with -prove: propose fence insertions and re-verify the patched program")
+	fs.BoolVar(&o.witness, "witness", false, "with -prove: print the full witness assignments and projections")
+	fs.StringVar(&o.handle, "handle", "", "with -prove: layout symbol of the replay-handle page (default: per-victim convention)")
+	fs.IntVar(&o.trials, "trials", 0, "with -prove: randomized-differential trials backing PROVEN-SAFE (0: default)")
+	fs.IntVar(&o.witnessPairs, "witness-pairs", -1, "with -prove: candidate witness pairs simulated per site (-1: default)")
+	fs.IntVar(&o.maxPaths, "max-paths", 0, "with -prove: abstract path-exploration budget (0: default)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
 
 // builtin describes one -victim target: a constructor returning the
-// layout whose program and secret declaration are scanned.
+// layout whose program and secret declaration are scanned, and the
+// layout symbol of the replay handle the verifier's dynamic runs arm.
+// The handle must be an access the secret transmitter does NOT
+// data-depend on (dependent work never issues under the handle's
+// fault): aes arms its pre-loop stack slot rather than the key
+// schedule, singlesecret its count page.
 type builtin struct {
-	name  string
-	build func() (*victim.Layout, error)
+	name   string
+	handle string
+	build  func() (*victim.Layout, error)
 }
 
 func builtins() []builtin {
 	return []builtin{
-		{"aes", func() (*victim.Layout, error) {
+		{"aes", "stack", func() (*victim.Layout, error) {
 			v, err := victim.NewAESVictim([]byte("0123456789abcdef"), []byte("fedcba9876543210"))
 			if err != nil {
 				return nil, err
 			}
 			return v.Layout, nil
 		}},
-		{"modexp", func() (*victim.Layout, error) {
+		{"modexp", "handle", func() (*victim.Layout, error) {
 			v, err := victim.NewModExpVictim(5, 0xb, 97, 4)
 			if err != nil {
 				return nil, err
 			}
 			return v.Layout, nil
 		}},
-		{"singlesecret", func() (*victim.Layout, error) {
+		{"singlesecret", "count", func() (*victim.Layout, error) {
 			return victim.SingleSecret(3, true), nil
 		}},
-		{"controlflow", func() (*victim.Layout, error) {
+		{"controlflow", "handle", func() (*victim.Layout, error) {
 			return victim.ControlFlowSecret(true), nil
 		}},
-		{"loopsecret", func() (*victim.Layout, error) {
+		{"loopsecret", "handle", func() (*victim.Layout, error) {
 			return victim.LoopSecret([]byte{3, 1, 4, 1, 5}), nil
 		}},
-		{"rdrand", func() (*victim.Layout, error) {
+		{"rdrand", "handle", func() (*victim.Layout, error) {
 			return victim.RdrandBias(), nil
+		}},
+		{"ctcontrol", "handle", func() (*victim.Layout, error) {
+			return victim.ConstantTime(), nil
 		}},
 	}
 }
@@ -89,83 +159,106 @@ func victimNames() []string {
 	return names
 }
 
+// Exit codes (see the package comment).
+const (
+	exitOK      = 0
+	exitLeaky   = 1
+	exitUnknown = 2
+	exitUsage   = 3
+)
+
 func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "mscan:", err)
-		os.Exit(2)
+	o, err := parseFlags(newFlagSet(), os.Args[1:])
+	if err != nil {
+		os.Exit(exitUsage)
 	}
+	code, err := run(o, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mscan:", err)
+	}
+	os.Exit(code)
 }
 
-func run() error {
+// run executes one scan or verification and returns the process exit
+// code. Any returned error is a usage or input error (code exitUsage).
+func run(o options, out io.Writer) (int, error) {
+	if o.victim != "" && o.asm != "" {
+		return exitUsage, fmt.Errorf("-victim and -asm are mutually exclusive")
+	}
+	if o.prove {
+		return runProve(o, out)
+	}
+
 	var (
 		name string
 		prog *isa.Program
 		sec  static.Secrets
 	)
 	switch {
-	case *victimName != "" && *asmPath != "":
-		return fmt.Errorf("-victim and -asm are mutually exclusive")
-	case *victimName != "":
-		l, err := buildVictim(*victimName)
+	case o.victim != "":
+		b, err := findBuiltin(o.victim)
 		if err != nil {
-			return err
+			return exitUsage, err
+		}
+		l, err := b.build()
+		if err != nil {
+			return exitUsage, err
 		}
 		name, prog = l.Name, l.Prog
 		sec.Regs = l.SecretRegs
 		for _, m := range l.SecretMems() {
 			sec.Mems = append(sec.Mems, static.MemRange{Lo: m[0], Hi: m[1]})
 		}
-	case *asmPath != "":
-		src, err := os.ReadFile(*asmPath)
+	case o.asm != "":
+		src, err := os.ReadFile(o.asm)
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
 		prog, err = isa.TryAssemble(string(src))
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
-		name = *asmPath
-		if sec, err = parseSecrets(*secretRegs, *secretMems); err != nil {
-			return err
+		name = o.asm
+		if sec, err = parseSecrets(o.secretRegs, o.secretMems); err != nil {
+			return exitUsage, err
 		}
 	default:
-		return fmt.Errorf("one of -victim or -asm is required (victims: %s)",
+		return exitUsage, fmt.Errorf("one of -victim or -asm is required (victims: %s)",
 			strings.Join(victimNames(), ", "))
 	}
 
 	cfg := static.DefaultConfig()
-	if *robWindow > 0 {
-		cfg.ROBWindow = *robWindow
+	if o.rob > 0 {
+		cfg.ROBWindow = o.rob
 	}
-	cfg.TaintRdrand = !*noRdrand
+	cfg.TaintRdrand = !o.noRdrand
 
 	report, err := static.Analyze(name, prog, sec, cfg)
 	if err != nil {
-		return err
+		return exitUsage, err
 	}
-	if *jsonOut {
-		out, err := report.JSON()
+	if o.json {
+		out2, err := report.JSON()
 		if err != nil {
-			return err
+			return exitUsage, err
 		}
-		fmt.Printf("%s\n", out)
+		fmt.Fprintf(out, "%s\n", out2)
 	} else {
-		fmt.Print(report.Text())
+		fmt.Fprint(out, report.Text())
 	}
-	if *failOnHit && report.HasFindings() {
-		os.Exit(1)
+	if o.fail && report.HasFindings() {
+		return exitLeaky, nil
 	}
-	return nil
+	return exitOK, nil
 }
 
-func buildVictim(name string) (*victim.Layout, error) {
+func findBuiltin(name string) (builtin, error) {
 	for _, b := range builtins() {
 		if b.name == name {
-			return b.build()
+			return b, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown victim %q (have: %s)", name, strings.Join(victimNames(), ", "))
+	return builtin{}, fmt.Errorf("unknown victim %q (have: %s)", name, strings.Join(victimNames(), ", "))
 }
 
 // parseSecrets turns the -secret-reg / -secret-mem flag values into a
@@ -235,4 +328,23 @@ func parseReg(tok string) (isa.Reg, error) {
 		return isa.F0 + isa.Reg(n), nil
 	}
 	return isa.R0 + isa.Reg(n), nil
+}
+
+// verifyConfig maps the command line onto the verifier's bounds.
+func verifyConfig(o options) verify.Config {
+	cfg := verify.DefaultConfig()
+	if o.rob > 0 {
+		cfg.Static.ROBWindow = o.rob
+	}
+	cfg.Static.TaintRdrand = !o.noRdrand
+	if o.trials > 0 {
+		cfg.Trials = o.trials
+	}
+	if o.witnessPairs >= 0 {
+		cfg.MaxWitnessPairs = o.witnessPairs
+	}
+	if o.maxPaths > 0 {
+		cfg.MaxPaths = o.maxPaths
+	}
+	return cfg
 }

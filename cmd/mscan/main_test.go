@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"microscope/analysis/verify"
+)
+
+// The verify-gate: every builtin victim's verdict under the default
+// verifier configuration is pinned in testdata/golden_verdicts.json.
+// A verdict flip (a victim silently becoming UNKNOWN, or the
+// constant-time control going LEAKY) fails CI; intentional changes are
+// regenerated with:
+//
+//	go test ./cmd/mscan -run TestGoldenVerdicts -update
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden verdicts file")
+
+const goldenPath = "testdata/golden_verdicts.json"
+
+// proveBuiltin verifies one builtin with its conventional handle.
+func proveBuiltin(t *testing.T, b builtin) *verify.Result {
+	t.Helper()
+	lay, err := b.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := verify.NewSubject(lay)
+	sub.Handle = lay.Sym(b.handle)
+	res, err := verify.Verify(sub, verify.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGoldenVerdicts(t *testing.T) {
+	got := make(map[string]string)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range builtins() {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := proveBuiltin(t, b)
+			mu.Lock()
+			got[b.name] = res.Verdict.String()
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden verdicts (run with -update to create them): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w, ok := want[n]
+		if !ok {
+			t.Errorf("%s: no golden verdict committed (run with -update)", n)
+			continue
+		}
+		if got[n] != w {
+			t.Errorf("%s: verdict %s, golden says %s\n"+
+				"if this change is intentional, regenerate with -update and review the diff", n, got[n], w)
+		}
+	}
+	for n := range want {
+		if _, ok := got[n]; !ok {
+			t.Errorf("golden file names unknown victim %q (stale entry; run with -update)", n)
+		}
+	}
+}
+
+// The golden file must contain at least one victim of each definite
+// verdict, or the gate proves nothing.
+func TestGoldenVerdictsCoverBothClasses(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, v := range want {
+		counts[v]++
+	}
+	if counts["LEAKY"] == 0 || counts["PROVEN-SAFE"] == 0 {
+		t.Fatalf("golden verdicts must include both LEAKY and PROVEN-SAFE victims: %v", want)
+	}
+	if counts["UNKNOWN"] != 0 {
+		t.Fatalf("a builtin victim regressed to UNKNOWN: %v", want)
+	}
+}
+
+// Exit codes are part of the CLI contract (see the package comment):
+// 0 clean/PROVEN-SAFE, 1 findings/LEAKY, 2 UNKNOWN, 3 usage errors —
+// the latter two only distinguished under -fail / -prove.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    options
+		code    int
+		wantErr bool
+	}{
+		{"no input", options{}, exitUsage, true},
+		{"both inputs", options{victim: "aes", asm: "x.s"}, exitUsage, true},
+		{"unknown victim", options{victim: "nope"}, exitUsage, true},
+		{"prove requires victim", options{prove: true}, exitUsage, true},
+		{"prove unknown handle", options{victim: "aes", prove: true, handle: "nope", witnessPairs: -1}, exitUsage, true},
+		{"scan findings no fail", options{victim: "controlflow"}, exitOK, false},
+		{"scan findings fail", options{victim: "controlflow", fail: true}, exitLeaky, false},
+		{"scan clean fail", options{victim: "ctcontrol", fail: true}, exitOK, false},
+		// witnessPairs -1 is the flag default ("use the verifier's");
+		// the zero value is a genuine zero-pair budget, used below.
+		{"prove safe fail", options{victim: "ctcontrol", prove: true, fail: true, witnessPairs: -1}, exitOK, false},
+		{"prove leaky fail", options{victim: "controlflow", prove: true, fail: true, witnessPairs: -1}, exitLeaky, false},
+		{"prove leaky no fail", options{victim: "controlflow", prove: true, witnessPairs: -1}, exitOK, false},
+		// Zero witness pairs leave the abstract sites unconfirmed:
+		// honest UNKNOWN, distinguished from LEAKY by its exit code.
+		{"prove unknown fail", options{victim: "controlflow", prove: true, fail: true, witnessPairs: 0}, exitUnknown, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			code, err := run(c.opts, &buf)
+			if code != c.code {
+				t.Fatalf("exit code = %d, want %d (err: %v)", code, c.code, err)
+			}
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// -prove -repair on a leaky victim must report a PROVEN-SAFE repaired
+// program alongside the original LEAKY verdict.
+func TestProveRepairOutput(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{victim: "controlflow", prove: true, repair: true, witnessPairs: -1}, &buf)
+	if err != nil || code != exitOK {
+		t.Fatalf("run: code %d, err %v", code, err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"verdict LEAKY",
+		"witness:",
+		"repair:",
+		"repaired program: verdict PROVEN-SAFE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The JSON document must round-trip and carry the witness evidence.
+func TestProveJSON(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(options{victim: "controlflow", prove: true, json: true, witnessPairs: -1}, &buf)
+	if err != nil || code != exitOK {
+		t.Fatalf("run: code %d, err %v", code, err)
+	}
+	var doc struct {
+		Result *verify.Result `json:"result"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Result == nil || doc.Result.Verdict != verify.Leaky {
+		t.Fatalf("JSON result = %+v, want LEAKY", doc.Result)
+	}
+	if doc.Result.Witness == nil || len(doc.Result.Sites) == 0 {
+		t.Fatalf("JSON result lacks witness or sites: %+v", doc.Result)
+	}
+}
+
+// parseFlags must accept every documented flag.
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags(newFlagSet(), []string{
+		"-victim", "aes", "-prove", "-repair", "-witness",
+		"-handle", "stack", "-trials", "8", "-witness-pairs", "4",
+		"-max-paths", "64", "-fail", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.prove || !o.repair || !o.witness || o.handle != "stack" ||
+		o.trials != 8 || o.witnessPairs != 4 || o.maxPaths != 64 || !o.fail || !o.json {
+		t.Fatalf("parsed options = %+v", o)
+	}
+}

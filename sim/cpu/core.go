@@ -92,7 +92,10 @@ func (k EventKind) String() string {
 // carries the page-walk duration observed by a memory access on
 // EvIssue/EvComplete/EvFault (zero on a TLB hit or for non-memory ops).
 // Port is the execution port the instruction issued on, valid on
-// EvIssue only (zero otherwise).
+// EvIssue only (zero otherwise). Addr is the effective virtual address
+// of a memory access on EvIssue/EvComplete and the faulting virtual
+// address on EvFault (zero for non-memory ops and other kinds); the
+// sim/trace channel projections derive cache-set footprints from it.
 //
 // The zero-extended field set is the canonical event identity: the
 // sim/trace Hasher folds every field below into the stream hash.
@@ -105,6 +108,7 @@ type Event struct {
 	Instr   isa.Instr
 	Walk    int
 	Port    pipeline.Port
+	Addr    mem.Addr
 	Detail  string
 }
 
@@ -459,7 +463,7 @@ func (c *Core) complete() {
 			}
 			if c.tracer != nil {
 				c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Seq: e.Seq,
-					Instr: e.Instr, Walk: e.WalkCycles})
+					Instr: e.Instr, Walk: e.WalkCycles, Addr: e.EffAddr})
 			}
 			if e.Instr.Op.IsCondBranch() {
 				ctx.bp.Update(e.PC, e.ActualPC == e.Instr.Target, e.Instr.Target)
@@ -718,7 +722,7 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 		Instr:   e.Instr,
 	}
 	c.trace(Event{Context: ctx.id, Kind: EvFault, PC: e.PC, Seq: e.Seq, Instr: e.Instr,
-		Walk: e.WalkCycles, Detail: f.Error()})
+		Walk: e.WalkCycles, Addr: f.VA, Detail: f.Error()})
 
 	if c.faultHandler == nil {
 		c.ctxHalt(ctx)
@@ -861,7 +865,7 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	e.WalkCycles = walk
 	if c.tracer != nil {
 		c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Seq: e.Seq,
-			Instr: e.Instr, Walk: e.WalkCycles, Port: port})
+			Instr: e.Instr, Walk: e.WalkCycles, Port: port, Addr: e.EffAddr})
 	}
 
 	// Memory-order violation: this store's address matches a younger load

@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InsertBefore returns a copy of p with instr inserted immediately before
+// each instruction index in pcs (duplicates are collapsed), plus the
+// index-remapping function from old instruction indices to new ones.
+//
+// Branch/txbegin targets and the label table are fixed up so the program
+// computes the same function: a target t moves to t plus the number of
+// insertions strictly before t — which lands branches to a patched index
+// on the inserted instruction itself, so a fence guarding a block entry
+// also guards the branch edge into it, not only the fall-through edge.
+func InsertBefore(p *Program, pcs []int, instr Instr) (*Program, func(int) int, error) {
+	n := len(p.Instrs)
+	uniq := append([]int(nil), pcs...)
+	sort.Ints(uniq)
+	var at []int
+	for i, pc := range uniq {
+		if pc < 0 || pc >= n {
+			return nil, nil, fmt.Errorf("isa: insertion point %d out of range [0,%d)", pc, n)
+		}
+		if i == 0 || pc != uniq[i-1] {
+			at = append(at, pc)
+		}
+	}
+	// shift(i) = number of insertion points < i; the new index of old
+	// instruction i is i + inserted-at-or-before(i).
+	before := func(i int) int { return sort.SearchInts(at, i) }
+	remap := func(i int) int { return i + sort.SearchInts(at, i+1) }
+
+	out := &Program{Instrs: make([]Instr, 0, n+len(at))}
+	next := 0
+	for i, in := range p.Instrs {
+		if next < len(at) && at[next] == i {
+			out.Instrs = append(out.Instrs, instr)
+			next++
+		}
+		if in.Op.IsBranch() || in.Op == OpTxBegin {
+			in.Target += before(in.Target)
+		}
+		out.Instrs = append(out.Instrs, in)
+	}
+	if len(p.Labels) > 0 {
+		out.Labels = make(map[string]int, len(p.Labels))
+		for name, idx := range p.Labels {
+			out.Labels[name] = idx + before(idx)
+		}
+	}
+	return out, remap, nil
+}

@@ -1,0 +1,51 @@
+package isa
+
+import "testing"
+
+// InsertBefore must keep branch edges pointing at the same logical
+// instruction — through the inserted instruction when the target itself
+// is an insertion point, so the branch edge is guarded too.
+func TestInsertBeforeFixesTargets(t *testing.T) {
+	p := NewBuilder().
+		MovImm(R1, 5). // 0
+		Beq(R1, R0, "skip").
+		Mul(R2, R1, R1). // 2: fence goes before this
+		Label("skip").
+		Store(R2, R1, 0). // 3: and before this (branch target)
+		Halt().
+		MustBuild()
+
+	q, remap, err := InsertBefore(p, []int{3, 2, 3}, Instr{Op: OpFence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len()+2 {
+		t.Fatalf("len = %d, want %d (duplicate insertion points must collapse)", q.Len(), p.Len()+2)
+	}
+	if q.Instrs[2].Op != OpFence || q.Instrs[4].Op != OpFence {
+		t.Fatalf("fences not at 2 and 4:\n%v", q.Instrs)
+	}
+	// The branch must now land on the fence guarding the store.
+	if got := q.Instrs[1].Target; got != 4 {
+		t.Errorf("branch target = %d, want 4 (the fence before the store)", got)
+	}
+	// Labels follow target semantics: they land on the guarding fence.
+	if got := q.Labels["skip"]; got != 4 {
+		t.Errorf("label skip = %d, want 4", got)
+	}
+	for old, want := range map[int]int{0: 0, 1: 1, 2: 3, 3: 5, 4: 6} {
+		if got := remap(old); got != want {
+			t.Errorf("remap(%d) = %d, want %d", old, got, want)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+}
+
+func TestInsertBeforeOutOfRange(t *testing.T) {
+	p := NewBuilder().Halt().MustBuild()
+	if _, _, err := InsertBefore(p, []int{1}, Instr{Op: OpFence}); err == nil {
+		t.Fatal("want error for out-of-range insertion point")
+	}
+}

@@ -38,6 +38,7 @@ func (h *Hasher) Trace(ev cpu.Event) {
 	x = fnvWord(x, ev.Seq)
 	x = fnvWord(x, uint64(int64(ev.Walk)))
 	x = fnvWord(x, uint64(int64(ev.Port)))
+	x = fnvWord(x, ev.Addr)
 	x = fnvWord(x, uint64(int64(ev.Instr.Op)))
 	x = fnvWord(x, uint64(int64(ev.Instr.Rd)))
 	x = fnvWord(x, uint64(int64(ev.Instr.Rs1)))

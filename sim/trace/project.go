@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+)
+
+// Channel projections over the transient event stream.
+//
+// MicroScope's observable is the microarchitectural footprint of
+// *transient* instructions: everything a squash shadow re-executes on
+// each replay but never retires (paper §4). A constant-time verdict
+// therefore cares about a restriction of the full event stream, along
+// two axes:
+//
+//   - only events of dynamic instructions that never retire (squashed
+//     work — the replay-amplifiable part), and
+//   - only the fields of those events an attacker can sense over one
+//     leak channel: which cache sets were touched, when the non-pipelined
+//     divider was occupied, or how long a divide took.
+//
+// Projections replaces the all-fields Hasher equality used by the
+// golden-trace and fast-forward suites with three per-channel digests.
+// Two runs with equal Cache/Port/Latency digests are indistinguishable
+// to a MicroScope attacker on the corresponding channel even if their
+// retired executions differ (a fenced, repaired victim still computes a
+// secret-dependent result — architecturally, at retirement — without
+// ever exposing it transiently).
+
+// Projections is the per-channel digest of one run's transient events.
+type Projections struct {
+	// Cache digests the ordered (context, cache line, is-store) sequence
+	// of transiently issued memory accesses: the footprint a prime+probe
+	// or flush+reload monitor reconstructs. Cycle timestamps are
+	// deliberately excluded — a cache monitor senses which sets were
+	// touched, not when.
+	Cache uint64 `json:"cache"`
+	// Port digests the (context, kind, cycle, port) sequence of transient
+	// divide issues and completions: the divider-occupancy intervals an
+	// SMT port-contention monitor senses (Fig. 6).
+	Port uint64 `json:"port"`
+	// Latency digests the (context, op, issue→complete latency) of each
+	// transient divide: the subnormal microcode-assist channel (Fig. 5).
+	Latency uint64 `json:"latency"`
+
+	// CacheN/PortN/LatencyN count the elements folded into each digest,
+	// and Transient the distinct transient dynamic instructions seen.
+	CacheN    int `json:"cacheN"`
+	PortN     int `json:"portN"`
+	LatencyN  int `json:"latencyN"`
+	Transient int `json:"transient"`
+}
+
+// Equal reports whether two runs are indistinguishable on all three
+// channels.
+func (p Projections) Equal(q Projections) bool {
+	return p.Cache == q.Cache && p.Port == q.Port && p.Latency == q.Latency
+}
+
+// Recorder is a cpu.Tracer that buffers the full event stream for
+// after-the-run analysis (the transient/retired split needs the whole
+// run before any event can be classified). Unlike Hasher it allocates;
+// attach it to bounded verification runs, not open-ended experiments.
+type Recorder struct {
+	events []cpu.Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Trace implements cpu.Tracer.
+func (r *Recorder) Trace(ev cpu.Event) { r.events = append(r.events, ev) }
+
+// Events returns the buffered stream (not a copy).
+func (r *Recorder) Events() []cpu.Event { return r.events }
+
+// Reset drops the buffered events, keeping the backing array.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// CacheLineShift converts an address to its cache-line number in the
+// projection (64-byte lines, matching sim/cache).
+const CacheLineShift = 6
+
+// instrKey identifies one dynamic instruction across its events.
+type instrKey struct {
+	ctx int
+	seq uint64
+}
+
+// ProjectTransient computes the per-channel digests of a run's transient
+// instructions. A dynamic instruction is transient iff no EvRetire event
+// carries its (context, seq) pair; events with Seq 0 and no ROB entry
+// (EvTxAbort, preempt squashes) belong to no instruction and are
+// ignored. The digests fold events in stream order, so two runs agree
+// iff their transient footprints agree element by element.
+func ProjectTransient(events []cpu.Event) Projections {
+	retired := make(map[instrKey]bool)
+	for _, ev := range events {
+		if ev.Kind == cpu.EvRetire {
+			retired[instrKey{ev.Context, ev.Seq}] = true
+		}
+	}
+	var p Projections
+	p.Cache = fnvOffset
+	p.Port = fnvOffset
+	p.Latency = fnvOffset
+
+	issueCycle := make(map[instrKey]uint64)
+	seen := make(map[instrKey]bool)
+	for _, ev := range events {
+		if ev.Seq == 0 || retired[instrKey{ev.Context, ev.Seq}] {
+			continue
+		}
+		k := instrKey{ev.Context, ev.Seq}
+		if !seen[k] {
+			seen[k] = true
+			p.Transient++
+		}
+		op := ev.Instr.Op
+		switch {
+		case op.IsMem() && (ev.Kind == cpu.EvIssue || ev.Kind == cpu.EvFault):
+			// A faulting access still performed its translation walk and
+			// primed the walker caches; its target line is part of the
+			// footprint the attacker models.
+			x := p.Cache
+			x = fnvWord(x, uint64(int64(ev.Context)))
+			x = fnvWord(x, ev.Addr>>CacheLineShift)
+			store := uint64(0)
+			if op.IsStore() {
+				store = 1
+			}
+			p.Cache = fnvWord(x, store)
+			p.CacheN++
+		}
+		if op == isa.OpDiv || op == isa.OpFDiv {
+			switch ev.Kind {
+			case cpu.EvIssue:
+				issueCycle[k] = ev.Cycle
+				fallthrough
+			case cpu.EvComplete:
+				x := p.Port
+				x = fnvWord(x, uint64(int64(ev.Context)))
+				x = fnvWord(x, uint64(int64(ev.Kind)))
+				x = fnvWord(x, ev.Cycle)
+				x = fnvWord(x, uint64(int64(ev.Port)))
+				p.Port = fnvWord(x, uint64(int64(op)))
+				p.PortN++
+			}
+			if ev.Kind == cpu.EvComplete {
+				if ic, ok := issueCycle[k]; ok {
+					x := p.Latency
+					x = fnvWord(x, uint64(int64(ev.Context)))
+					x = fnvWord(x, uint64(int64(op)))
+					p.Latency = fnvWord(x, ev.Cycle-ic)
+					p.LatencyN++
+				}
+			}
+		}
+	}
+	return p
+}

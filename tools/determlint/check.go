@@ -9,13 +9,17 @@ import (
 	"strings"
 )
 
-// The checks. All three target the same property: a simulation or
+// The checks. All four target the same property: a simulation or
 // analysis run with fixed inputs must produce byte-identical output.
 //
 //   - globalrand: package-level math/rand functions draw from the
 //     process-global source, whose sequence depends on everything else
 //     that touched it (and, unseeded, on the run).
 //   - timenow: time.Now leaks wall-clock time into results.
+//   - envdep: os.Getenv/LookupEnv/Environ and runtime.NumCPU make
+//     results depend on the machine and environment the run happens on.
+//     runtime.GOMAXPROCS is deliberately exempt: the sweep runner sets
+//     and reads it to size worker pools without affecting output.
 //   - maporder: ranging over a map and appending/printing inside the
 //     loop emits elements in a random order unless the accumulator is
 //     sorted afterwards.
@@ -39,6 +43,7 @@ func runChecks(fset *token.FileSet, files []*ast.File, info *types.Info) []diagn
 			continue
 		}
 		checkGlobalFuncs(f, info, report)
+		checkEnvDep(f, info, report)
 		checkMapOrder(f, info, report)
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
@@ -83,6 +88,41 @@ func checkGlobalFuncs(f *ast.File, info *types.Info, report func(token.Pos, stri
 			if fn.Name() == "Now" {
 				report(sel.Pos(),
 					"nondeterministic: time.Now reads the wall clock; use the simulated cycle counter or a clock threaded through the config")
+			}
+		}
+		return true
+	})
+}
+
+// checkEnvDep flags references to functions whose results vary with the
+// host machine or process environment: os.Getenv/LookupEnv/Environ and
+// runtime.NumCPU. A sweep that sizes batches by NumCPU, or an analysis
+// that reads a tuning knob from the environment, produces different
+// output on different machines with identical inputs. Reading
+// runtime.GOMAXPROCS is allowed: the deterministic sweep runner sets it
+// explicitly, so its value is part of the configuration, not the host.
+func checkEnvDep(f *ast.File, info *types.Info, report func(token.Pos, string, ...interface{})) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			switch fn.Name() {
+			case "Getenv", "LookupEnv", "Environ":
+				report(sel.Pos(),
+					"environment-dependent: os.%s makes output depend on the process environment; thread the value through the run config",
+					fn.Name())
+			}
+		case "runtime":
+			if fn.Name() == "NumCPU" {
+				report(sel.Pos(),
+					"environment-dependent: runtime.NumCPU varies per machine; take worker counts from the run config (runtime.GOMAXPROCS is exempt: it is set explicitly)")
 			}
 		}
 		return true

@@ -1,0 +1,41 @@
+package determ
+
+// Fixtures for the envdep check: host- and environment-dependent values
+// must not reach output paths.
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+func envKnob() int {
+	v := os.Getenv("TUNING") // want `os\.Getenv makes output depend on the process environment`
+	n, _ := strconv.Atoi(v)
+	if _, ok := os.LookupEnv("DEBUG"); ok { // want `os\.LookupEnv makes output depend on the process environment`
+		n++
+	}
+	n += len(os.Environ()) // want `os\.Environ makes output depend on the process environment`
+	return n
+}
+
+func hostWorkers() int {
+	return runtime.NumCPU() // want `runtime\.NumCPU varies per machine`
+}
+
+func configuredWorkers() int {
+	// ok: GOMAXPROCS is set explicitly by the sweep runner, so reading
+	// it back reflects configuration, not the host.
+	return runtime.GOMAXPROCS(0)
+}
+
+func envValueAsRef() func(string) string {
+	f := os.Getenv // want `os\.Getenv makes output depend on the process environment`
+	return f
+}
+
+func unrelatedOsUse() error {
+	// ok: file IO is input, not environment sniffing.
+	_, err := os.ReadFile("config.json")
+	return err
+}
