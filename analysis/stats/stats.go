@@ -130,10 +130,17 @@ func NewHistogram(xs []uint64, min, max uint64, buckets int) (*Histogram, error)
 		switch {
 		case x < min:
 			h.Under++
-		case x >= max:
+		case x > max:
 			h.Over++
 		default:
-			h.Counts[(x-min)/size]++
+			// The range is inclusive of max: a sample exactly on the upper
+			// bound lands in the final bucket (rounding up the bucket size
+			// can also leave the computed index one past the end — clamp).
+			i := (x - min) / size
+			if i >= uint64(len(h.Counts)) {
+				i = uint64(len(h.Counts)) - 1
+			}
+			h.Counts[i]++
 		}
 	}
 	return h, nil

@@ -61,15 +61,41 @@ func TestHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[9] != 2 {
 		t.Errorf("counts = %v", h.Counts)
 	}
-	if h.Over != 2 || h.Under != 0 {
+	if h.Over != 1 || h.Under != 0 {
 		t.Errorf("over/under = %d/%d", h.Over, h.Under)
 	}
 	out := h.Render(40)
 	if !strings.Contains(out, "(above range)") {
 		t.Errorf("render missing overflow: %s", out)
+	}
+}
+
+// A sample exactly equal to max belongs to the final bucket, not to the
+// overflow count: [min, max] is inclusive. The old x >= max test dropped
+// the range's own upper bound — a histogram over [0, observed-maximum]
+// silently misplaced every maximal sample.
+func TestHistogramMaxBoundary(t *testing.T) {
+	h, err := NewHistogram([]uint64{100, 100, 99, 101}, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[9] != 3 {
+		t.Errorf("final bucket = %d, want 3 (two x==max plus 99)", h.Counts[9])
+	}
+	if h.Over != 1 {
+		t.Errorf("over = %d, want 1 (only 101 is above range)", h.Over)
+	}
+	// Uneven bucket widths (size rounds up): the index of x==max must be
+	// clamped into the final bucket, not run past the slice.
+	h2, err := NewHistogram([]uint64{7}, 0, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Counts[2] != 1 || h2.Over != 0 {
+		t.Errorf("rounded-size boundary: counts=%v over=%d, want final bucket 1, over 0", h2.Counts, h2.Over)
 	}
 }
 

@@ -13,9 +13,15 @@
 // never results.
 //
 // Determinism contract: the trial function must derive all randomness
-// from its trial index (e.g. rand.NewSource(seed + int64(trial))) and
+// from its trial index (e.g. rand.NewSource(SeedFor(seed, trial))) and
 // must not touch state outside its own trial. Under that contract,
 // Run(n, Options{Workers: w}, f) returns the same values for every w.
+// Per-trial seeds must be *mixed*, not merely offset: with seed+trial,
+// two sweeps whose base seeds differ by less than the trial count share
+// most of their per-trial streams (sweep A's trial 1 is sweep B's
+// trial 0), which silently correlates supposedly independent
+// experiments. SeedFor finalizes base and trial through splitmix64 so
+// adjacent bases and adjacent trials land in unrelated streams.
 package sweep
 
 import (
@@ -53,7 +59,21 @@ func Workers(n int) int {
 // every trial its own seed (rather than sharing one *rand.Rand, which is
 // not goroutine-safe) keeps parallel sweeps reproducible: trial i uses
 // the same random stream whether it runs first, last, or concurrently.
-func SeedFor(base int64, trial int) int64 { return base + int64(trial) }
+//
+// The derivation is a splitmix64-style finalizer over (base, trial)
+// rather than base+trial: the naive offset made trial t of base b reuse
+// the exact stream of trial t+1 of base b-1, so sweeps with nearby base
+// seeds were mostly permutations of each other instead of independent
+// experiments.
+func SeedFor(base int64, trial int) int64 {
+	x := uint64(base) + uint64(trial)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
 
 // TrialError reports which trial of a sweep failed.
 type TrialError struct {

@@ -129,8 +129,25 @@ func TestWorkersNormalization(t *testing.T) {
 }
 
 func TestSeedFor(t *testing.T) {
-	if SeedFor(100, 0) != 100 || SeedFor(100, 7) != 107 {
-		t.Error("SeedFor must be base + trial")
+	// Deterministic: the same (base, trial) always yields the same seed.
+	if SeedFor(100, 7) != SeedFor(100, 7) {
+		t.Error("SeedFor must be deterministic")
+	}
+	// The old base+trial derivation made adjacent base seeds share
+	// per-trial streams (trial t of base b+1 == trial t+1 of base b),
+	// correlating sweeps that claim independence. The mixed derivation
+	// must keep nearby (base, trial) pairs in unrelated streams: check
+	// all pairs drawn from a small neighborhood collide nowhere.
+	seen := make(map[int64][2]int64)
+	for base := int64(90); base <= 110; base++ {
+		for trial := 0; trial < 50; trial++ {
+			s := SeedFor(base, trial)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SeedFor(%d,%d) == SeedFor(%d,%d) == %d: overlapping trial streams",
+					base, trial, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(trial)}
+		}
 	}
 }
 

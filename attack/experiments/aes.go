@@ -89,6 +89,38 @@ func newAESRig(cfg AESConfig) (*aesRig, []byte, error) {
 	return ar, ct, nil
 }
 
+// forkAESRig adapts a pooled rig — already restored to the template's
+// post-install checkpoint — to one sweep trial: it encrypts the trial
+// plaintext and writes the ciphertext into the victim's in page,
+// leaving the machine in exactly the state newAESRig would have built
+// for that plaintext. The victim program, symbols and probe lists are
+// ciphertext-independent and shared read-only with the template.
+func forkAESRig(template *aesRig, rig *Rig, cfg AESConfig) (*aesRig, []byte, error) {
+	c, err := taes.NewCipher(cfg.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cfg.Plaintext) != taes.BlockSize {
+		return nil, nil, fmt.Errorf("experiments: plaintext must be one block")
+	}
+	ct := make([]byte, taes.BlockSize)
+	c.Encrypt(ct, cfg.Plaintext)
+	img, err := victim.AESInImage(ct)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rig.Victim.AddressSpace().WriteVirt(victim.AESInVA, img); err != nil {
+		return nil, nil, err
+	}
+	return &aesRig{
+		Rig:       rig,
+		vic:       template.vic,
+		allLines:  template.allLines,
+		lineTable: template.lineTable,
+		lineIdx:   template.lineIdx,
+	}, ct, nil
+}
+
 // probeMasks probes every Td line and returns per-table bitmasks of
 // cached (≠ memory) lines.
 func (ar *aesRig) probeMasks() ([5]uint16, error) {

@@ -67,6 +67,14 @@ func RunAESExtraction(cfg AESConfig) (*ExtractionResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runAESExtraction(ar, cfg, ct)
+}
+
+// runAESExtraction mounts the attack on an assembled AES rig — fresh
+// from newAESRig, or forked from a post-install checkpoint with the
+// trial ciphertext swapped in (forkAESRig). The two arrive with
+// identical machine state, so the results are identical too.
+func runAESExtraction(ar *aesRig, cfg AESConfig, ct []byte) (*ExtractionResult, error) {
 	truth, err := truthMasks(cfg.Key, ct)
 	if err != nil {
 		return nil, err
@@ -208,11 +216,50 @@ func RunAESExtraction(cfg AESConfig) (*ExtractionResult, error) {
 }
 
 // RunAESExtractionSweep mounts one full §6.2 extraction per plaintext,
-// fanned out over the sweep worker pool. Every trial assembles its own
-// Rig/PhysMem/Core, so trials share no state; the returned slice is
-// ordered by trial index and byte-identical to a serial run for any
-// worker count (<= 0 selects GOMAXPROCS).
+// fanned out over the sweep worker pool. Trials fork from a single warm
+// post-install checkpoint instead of cold-booting a 64 MB platform
+// each: the template rig is checkpointed right after victim
+// installation (before any recipe or cycle runs), every trial restores
+// a pooled rig to that state, swaps its own ciphertext into the
+// victim's in page, and mounts the attack. The returned slice is
+// ordered by trial index and byte-identical to the cold-boot reference
+// (RunAESExtractionSweepColdBoot) for any worker count (<= 0 selects
+// GOMAXPROCS).
 func RunAESExtractionSweep(cfg AESConfig, plaintexts [][]byte, workers int) ([]*ExtractionResult, error) {
+	if len(plaintexts) == 0 {
+		return nil, nil
+	}
+	template, _, err := newAESRig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := template.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	pool := newRigPool(cp, template.Rig)
+	return sweep.Run(len(plaintexts), sweep.Options{Workers: workers},
+		func(trial int) (*ExtractionResult, error) {
+			c := cfg
+			c.Plaintext = plaintexts[trial]
+			rig, err := pool.get()
+			if err != nil {
+				return nil, err
+			}
+			defer pool.put(rig)
+			ar, ct, err := forkAESRig(template, rig, c)
+			if err != nil {
+				return nil, err
+			}
+			return runAESExtraction(ar, c, ct)
+		})
+}
+
+// RunAESExtractionSweepColdBoot is RunAESExtractionSweep without the
+// shared checkpoint: every trial assembles its own Rig/PhysMem/Core
+// from scratch. It is the reference implementation the forked sweep is
+// tested for byte-identity against and benchmarked over.
+func RunAESExtractionSweepColdBoot(cfg AESConfig, plaintexts [][]byte, workers int) ([]*ExtractionResult, error) {
 	return sweep.Run(len(plaintexts), sweep.Options{Workers: workers},
 		func(trial int) (*ExtractionResult, error) {
 			c := cfg

@@ -100,7 +100,12 @@ func RunFig10WithCore(cfg Fig10Config, tweak func(*cpu.Config)) (*Fig10Result, e
 		}
 		return nil, err
 	}
-	mul, div := sides[0], sides[1]
+	return assembleFig10(cfg, sides[0], sides[1]), nil
+}
+
+// assembleFig10 calibrates the threshold from the quiet side and
+// classifies both sides into the full result.
+func assembleFig10(cfg Fig10Config, mul, div Fig10Side) *Fig10Result {
 	res := &Fig10Result{Config: cfg, Mul: mul, Div: div}
 	res.Threshold = sidechan.CalibrateThreshold(mul.Samples, cfg.Quantile, cfg.Guard)
 	res.MulOver = sidechan.Classify(mul.Samples, res.Threshold).Over
@@ -110,12 +115,38 @@ func RunFig10WithCore(cfg Fig10Config, tweak func(*cpu.Config)) (*Fig10Result, e
 		den = 1
 	}
 	res.SeparationX = float64(res.DivOver) / float64(den)
-	return res, nil
+	return res
 }
 
 // SecretDetected reports the attack's verdict: the victim executed the
 // div side iff the over-threshold count is well above the quiet side's.
 func (r *Fig10Result) SecretDetected() bool { return r.SeparationX >= 4 }
+
+// fig10Rig is one side's assembled platform: the rig plus the victim
+// and monitor layouts (needed for symbols and program start).
+type fig10Rig struct {
+	rig *Rig
+	vic *victim.Layout
+	mon *victim.Layout
+}
+
+// buildFig10Rig boots a platform and installs the victim and monitor —
+// the checkpointable prefix of a Fig. 10 side (no recipe, no cycles).
+func buildFig10Rig(coreCfg cpu.Config, cfg Fig10Config, secret bool) (*fig10Rig, error) {
+	rig, err := NewRig(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	vic := victim.ControlFlowSecret(secret)
+	if err := rig.InstallVictim(vic); err != nil {
+		return nil, err
+	}
+	mon := monitor.PortContention(cfg.Samples, cfg.Cont)
+	if err := rig.AddMonitor(mon); err != nil {
+		return nil, err
+	}
+	return &fig10Rig{rig: rig, vic: vic, mon: mon}, nil
+}
 
 func runFig10Side(cfg Fig10Config, secret bool, tweak func(*cpu.Config)) (Fig10Side, error) {
 	coreCfg := cpu.DefaultConfig()
@@ -124,18 +155,19 @@ func runFig10Side(cfg Fig10Config, secret bool, tweak func(*cpu.Config)) (Fig10S
 	if tweak != nil {
 		tweak(&coreCfg)
 	}
-	rig, err := NewRig(coreCfg)
+	fr, err := buildFig10Rig(coreCfg, cfg, secret)
 	if err != nil {
 		return Fig10Side{}, err
 	}
-	vic := victim.ControlFlowSecret(secret)
-	if err := rig.InstallVictim(vic); err != nil {
-		return Fig10Side{}, err
-	}
-	mon := monitor.PortContention(cfg.Samples, cfg.Cont)
-	if err := rig.AddMonitor(mon); err != nil {
-		return Fig10Side{}, err
-	}
+	return mountFig10(fr, cfg)
+}
+
+// mountFig10 installs the replay recipe, starts both programs and runs
+// the measurement on an assembled side — cold-booted (runFig10Side) or
+// restored from a post-install checkpoint (forkFig10Side); the two
+// arrive with identical machine state.
+func mountFig10(fr *fig10Rig, cfg Fig10Config) (Fig10Side, error) {
+	rig, vic, mon := fr.rig, fr.vic, fr.mon
 
 	// The replayer keeps the victim replaying for the monitor's entire
 	// measurement run, then releases it: one logical victim run.
@@ -195,9 +227,78 @@ type Fig10SweepResult struct {
 // simulation; the ambient-jitter phase is varied deterministically per
 // trial (the simulated analogue of re-running the experiment on a live
 // machine), so the sweep measures the attack's robustness to platform
-// noise. Results are ordered by trial index and identical for any
-// cfg.Workers value.
+// noise. Trials fork from two warm post-install checkpoints (one per
+// victim side) rather than booting four fresh 64 MB platforms per
+// trial; the per-trial jitter is applied to the restored core via
+// UpdateTiming, which leaves results byte-identical to the cold-boot
+// reference (RunFig10SweepColdBoot). Results are ordered by trial index
+// and identical for any cfg.Workers value.
 func RunFig10Sweep(cfg Fig10Config, trials int) (*Fig10SweepResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: fig10 sweep needs trials > 0, got %d", trials)
+	}
+	// One template + checkpoint + pool per victim side (mul, div).
+	baseCfg := cpu.DefaultConfig()
+	baseCfg.JitterPeriod = cfg.JitterPeriod
+	baseCfg.JitterExtra = cfg.JitterExtra
+	var templates [2]*fig10Rig
+	var pools [2]*rigPool
+	for side := 0; side < 2; side++ {
+		fr, err := buildFig10Rig(baseCfg, cfg, side == 1)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := fr.rig.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		templates[side] = fr
+		pools[side] = newRigPool(cp, fr.rig)
+	}
+	results, err := sweep.Run(trials, sweep.Options{Workers: cfg.Workers},
+		func(trial int) (*Fig10Result, error) {
+			c := cfg
+			c.Workers = 1 // the trial is the unit of parallelism
+			c.JitterPeriod = cfg.JitterPeriod + 17*trial
+			var sides [2]Fig10Side
+			for side := 0; side < 2; side++ {
+				s, err := forkFig10Side(pools[side], templates[side], c)
+				if err != nil {
+					return nil, fmt.Errorf("%s side: %w", [2]string{"mul", "div"}[side], err)
+				}
+				sides[side] = s
+			}
+			return assembleFig10(c, sides[0], sides[1]), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return sweepSummary(results), nil
+}
+
+// forkFig10Side draws a pooled rig (restored to the side's post-install
+// checkpoint), retunes the restored core's jitter to the trial's, and
+// mounts the measurement on it.
+func forkFig10Side(pool *rigPool, tmpl *fig10Rig, cfg Fig10Config) (Fig10Side, error) {
+	rig, err := pool.get()
+	if err != nil {
+		return Fig10Side{}, err
+	}
+	defer pool.put(rig)
+	coreCfg := rig.Core.Config()
+	coreCfg.JitterPeriod = cfg.JitterPeriod
+	coreCfg.JitterExtra = cfg.JitterExtra
+	if err := rig.Core.UpdateTiming(coreCfg); err != nil {
+		return Fig10Side{}, err
+	}
+	return mountFig10(&fig10Rig{rig: rig, vic: tmpl.vic, mon: tmpl.mon}, cfg)
+}
+
+// RunFig10SweepColdBoot is RunFig10Sweep without the shared
+// checkpoints: every trial boots its own platforms. It is the reference
+// implementation the forked sweep is tested for identity against and
+// benchmarked over.
+func RunFig10SweepColdBoot(cfg Fig10Config, trials int) (*Fig10SweepResult, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("experiments: fig10 sweep needs trials > 0, got %d", trials)
 	}
@@ -211,6 +312,11 @@ func RunFig10Sweep(cfg Fig10Config, trials int) (*Fig10SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return sweepSummary(results), nil
+}
+
+// sweepSummary folds per-trial Fig. 10 results into the sweep summary.
+func sweepSummary(results []*Fig10Result) *Fig10SweepResult {
 	res := &Fig10SweepResult{Trials: results}
 	mul, div, sep := stats.NewAccumulator(), stats.NewAccumulator(), stats.NewAccumulator()
 	for _, r := range results {
@@ -222,5 +328,5 @@ func RunFig10Sweep(cfg Fig10Config, trials int) (*Fig10SweepResult, error) {
 		sep.Add(r.SeparationX)
 	}
 	res.Mul, res.Div, res.Separation = mul.Summary(), div.Summary(), sep.Summary()
-	return res, nil
+	return res
 }

@@ -81,12 +81,13 @@ func (r *Rig) Run(maxCycles uint64) error {
 			if ctx.Program() == nil {
 				continue
 			}
+			// Name the context after the process the kernel actually has
+			// scheduled there: a monitor installed via kernel.Schedule
+			// directly (without AddMonitor) is still reported by name, and
+			// a rescheduled context 0 is not mislabelled "victim".
 			name := fmt.Sprintf("ctx%d", i)
-			switch {
-			case i == 0:
-				name = "victim"
-			case i == 1 && r.Monitor != nil:
-				name = "monitor"
+			if p, ok := r.Kernel.Running(i); ok {
+				name = p.Name
 			}
 			state := "spinning"
 			if ctx.Halted() {

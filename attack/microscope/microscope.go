@@ -18,6 +18,7 @@ import (
 	"microscope/sim/cpu"
 	"microscope/sim/kernel"
 	"microscope/sim/mem"
+	"microscope/sim/snapshot"
 )
 
 // Decision is an attack callback's verdict after a fault on an armed page.
@@ -109,6 +110,10 @@ type Module struct {
 	recipes    []*Recipe
 	unregister func()
 	timeline   []TimelineEvent
+
+	// Handler-decision record log (see snapshot.go).
+	decisions     []snapshot.DecisionRecord
+	decisionCount uint64
 }
 
 // NewModule loads the module into the kernel (registers the fault hook of
@@ -241,6 +246,7 @@ func (m *Module) onHandleFault(r *Recipe, f cpu.PageFault) cpu.FaultOutcome {
 	} else if r.MaxReplays > 0 && r.replays >= r.MaxReplays {
 		d = Release
 	}
+	m.logDecision(r, false, d)
 	switch d {
 	case Replay:
 		// Keep present clear; re-flush the translation path so the next
@@ -276,6 +282,7 @@ func (m *Module) onPivotFault(r *Recipe, f cpu.PageFault) cpu.FaultOutcome {
 			Cycle:       m.core.Cycle(),
 		})
 	}
+	m.logDecision(r, true, d)
 	switch d {
 	case Replay:
 		// Keep the pivot armed: replay the pivot's own window (used by

@@ -146,9 +146,9 @@ func NewAESVictim(key, ciphertext []byte) (*AESVictim, error) {
 	b.Halt()
 
 	// Data image.
-	ctWords := make([]uint32, 4)
-	for i := range ctWords {
-		ctWords[i] = binary.BigEndian.Uint32(ciphertext[4*i:])
+	inImage, err := AESInImage(ciphertext)
+	if err != nil {
+		return nil, err
 	}
 	table := func(i int) []uint32 {
 		t := taes.Td(i)
@@ -167,7 +167,7 @@ func NewAESVictim(key, ciphertext []byte) (*AESVictim, error) {
 			"td3": AESTd3VA, "td4": AESTd4VA,
 		},
 		Regions: []Region{
-			{Name: "in", VA: AESInVA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(ctWords)},
+			{Name: "in", VA: AESInVA, Size: mem.PageSize, Flags: rw, Init: inImage},
 			{Name: "rk", VA: AESRKVA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(c.DecKey())},
 			{Name: "td0", VA: AESTd0VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(0))},
 			{Name: "td1", VA: AESTd1VA, Size: mem.PageSize, Flags: rw, Init: u32Bytes(table(1))},
@@ -179,6 +179,21 @@ func NewAESVictim(key, ciphertext []byte) (*AESVictim, error) {
 		},
 	}
 	return v, nil
+}
+
+// AESInImage renders a ciphertext block as the in-region memory image —
+// the exact encoding NewAESVictim installs at AESInVA (four big-endian
+// words, stored little-endian). Checkpointed sweeps use it to swap the
+// trial ciphertext into a restored rig without rebuilding the victim.
+func AESInImage(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) != taes.BlockSize {
+		return nil, fmt.Errorf("victim: ciphertext must be one block, got %d bytes", len(ciphertext))
+	}
+	words := make([]uint32, 4)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint32(ciphertext[4*i:])
+	}
+	return u32Bytes(words), nil
 }
 
 // emitTableLookup emits the index-extraction and table-load sequence:

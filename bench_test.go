@@ -290,6 +290,77 @@ func BenchmarkSweepFig10Trials(b *testing.B) {
 	b.ReportMetric(serialNs/parallelNs, "sweep-speedup-x")
 }
 
+// BenchmarkCheckpointForkKeysweep measures what checkpoint/fork buys the
+// heaviest sweep: the 8-plaintext extraction sweep cold-booting a 64 MB
+// platform per trial vs forking every trial from one warm post-install
+// checkpoint. Both run single-worker, so the comparison isolates the
+// per-trial setup cost from parallel scheduling; the results must be
+// byte-identical (the fork correctness guarantee), and fork-speedup-x
+// is the acceptance bar (>= 2x trials/sec).
+func BenchmarkCheckpointForkKeysweep(b *testing.B) {
+	cfg := experiments.DefaultAESConfig()
+	const trials = 8
+	pts := make([][]byte, trials)
+	for i := range pts {
+		pts[i] = experiments.TrialPlaintext(i)
+	}
+	var coldNs, forkNs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		cold, err := experiments.RunAESExtractionSweepColdBoot(cfg, pts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldNs = float64(time.Since(start).Nanoseconds())
+		start = time.Now()
+		fork, err := experiments.RunAESExtractionSweep(cfg, pts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forkNs = float64(time.Since(start).Nanoseconds())
+		if !reflect.DeepEqual(cold, fork) {
+			b.Fatal("forked sweep diverged from cold-boot run")
+		}
+	}
+	b.ReportMetric(coldNs, "coldboot-ns")
+	b.ReportMetric(forkNs, "fork-ns")
+	b.ReportMetric(coldNs/forkNs, "fork-speedup-x")
+	b.ReportMetric(float64(trials)/(coldNs/1e9), "coldboot-trials-per-sec")
+	b.ReportMetric(float64(trials)/(forkNs/1e9), "fork-trials-per-sec")
+}
+
+// BenchmarkCheckpointForkFig10 is the same cold-boot vs fork comparison
+// on the Fig. 10 detection-study sweep (four platforms per trial when
+// cold-booting: two sides, each with victim and monitor installs).
+func BenchmarkCheckpointForkFig10(b *testing.B) {
+	cfg := experiments.DefaultFig10Config()
+	cfg.Samples = 1000
+	cfg.Workers = 1
+	const trials = 4
+	var coldNs, forkNs float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		cold, err := experiments.RunFig10SweepColdBoot(cfg, trials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldNs = float64(time.Since(start).Nanoseconds())
+		start = time.Now()
+		fork, err := experiments.RunFig10Sweep(cfg, trials)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forkNs = float64(time.Since(start).Nanoseconds())
+		if cold.Detected != fork.Detected || cold.Mul != fork.Mul || cold.Div != fork.Div {
+			b.Fatal("forked fig10 sweep diverged from cold-boot run")
+		}
+	}
+	b.ReportMetric(coldNs, "coldboot-ns")
+	b.ReportMetric(forkNs, "fork-ns")
+	b.ReportMetric(coldNs/forkNs, "fork-speedup-x")
+	b.ReportMetric(float64(trials)/(forkNs/1e9), "fork-trials-per-sec")
+}
+
 // BenchmarkFig12ReplayHandles runs the three generalized replay handles.
 func BenchmarkFig12ReplayHandles(b *testing.B) {
 	for i := 0; i < b.N; i++ {

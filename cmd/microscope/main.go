@@ -26,6 +26,7 @@ import (
 	"microscope/attack/replay"
 	"microscope/attack/victim"
 	"microscope/sim/cpu"
+	"microscope/sim/snapshot"
 	"microscope/sim/trace"
 )
 
@@ -51,6 +52,23 @@ var traceOut = flag.String("trace", "",
 
 var showMetrics = flag.Bool("metrics", false,
 	"print deterministic aggregate pipeline metrics after the run (table2, timeline, execpath)")
+
+// Checkpointing flags (timeline subcommand). -checkpoint-every snapshots
+// the whole machine (memory, core, kernel, module) on a fixed cycle
+// period into an in-memory list; -reverse-to K then "steps backwards" by
+// restoring the nearest checkpoint at or below cycle K and re-running
+// forward to exactly K — deterministic replay makes the re-run
+// bit-identical to the original pass through that cycle. -checkpoint-out
+// writes the machine state at command exit as a gob image that
+// tools/snapdiff can diff against another run's.
+var checkpointEvery = flag.Uint64("checkpoint-every", 0,
+	"snapshot the machine every N cycles during `timeline` (enables -reverse-to)")
+
+var reverseTo = flag.Uint64("reverse-to", 0,
+	"after `timeline` completes, restore the nearest checkpoint <= K and re-run to cycle K, then print the machine state (requires -checkpoint-every)")
+
+var checkpointOut = flag.String("checkpoint-out", "",
+	"write the machine snapshot at `timeline` exit to this file (gob; diff two with tools/snapdiff)")
 
 // observers is the tracer stack the -trace/-metrics flags request.
 type observers struct {
@@ -146,6 +164,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if flag.Arg(0) != "timeline" &&
+		(*checkpointEvery != 0 || *reverseTo != 0 || *checkpointOut != "") {
+		fmt.Fprintln(os.Stderr, "microscope: -checkpoint-every/-reverse-to/-checkpoint-out only apply to the timeline subcommand")
+		os.Exit(2)
+	}
 	var err error
 	switch flag.Arg(0) {
 	case "table1":
@@ -178,7 +201,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] [-stats] [-trace out.json] [-metrics] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -243,7 +266,8 @@ func runTimeline() error {
 		return err
 	}
 	l.Start(rig.Kernel, 0)
-	if err := rig.Run(10_000_000); err != nil {
+	checkpoints, err := runCheckpointed(rig, 10_000_000)
+	if err != nil {
 		return err
 	}
 	fmt.Println("Figure 3 — replayer/victim timeline (cycles are simulated)")
@@ -252,6 +276,118 @@ func runTimeline() error {
 		return err
 	}
 	printStats(rig.Core)
+	if *reverseTo > 0 {
+		if err := reverseStep(rig, checkpoints, *reverseTo); err != nil {
+			return err
+		}
+	}
+	if *checkpointOut != "" {
+		if err := writeCheckpoint(rig, *checkpointOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cycleCheckpoint is one periodic whole-machine checkpoint.
+type cycleCheckpoint struct {
+	Cycle uint64
+	CP    *experiments.Checkpoint
+}
+
+// runCheckpointed runs the rig to completion within budget. With
+// -checkpoint-every N it runs in N-cycle chunks, snapshotting the whole
+// machine after each (plus a cycle-0 baseline); the chunked run is
+// bit-identical to an unchunked one (Run resumes exactly where it
+// stopped, and taking a snapshot does not perturb machine state).
+func runCheckpointed(rig *experiments.Rig, budget uint64) ([]cycleCheckpoint, error) {
+	every := *checkpointEvery
+	if every == 0 {
+		return nil, rig.Run(budget)
+	}
+	var cps []cycleCheckpoint
+	take := func() error {
+		cp, err := rig.Checkpoint()
+		if err != nil {
+			return err
+		}
+		cps = append(cps, cycleCheckpoint{Cycle: rig.Core.Cycle(), CP: cp})
+		return nil
+	}
+	if err := take(); err != nil {
+		return nil, err
+	}
+	spent := uint64(0)
+	for !rig.Core.Halted() && spent < budget {
+		n := every
+		if n > budget-spent {
+			n = budget - spent
+		}
+		spent += rig.Core.Run(n)
+		if err := take(); err != nil {
+			return nil, err
+		}
+	}
+	if !rig.Core.Halted() {
+		return nil, fmt.Errorf("run exceeded %d cycles", budget)
+	}
+	fmt.Printf("(%d checkpoints taken, every %d cycles)\n", len(cps), every)
+	return cps, nil
+}
+
+// reverseStep restores the nearest checkpoint at or below the target
+// cycle and deterministically re-runs forward to it — the "step
+// backwards to cycle k-1" debugging move a forward-only simulator
+// cannot otherwise make.
+func reverseStep(rig *experiments.Rig, cps []cycleCheckpoint, target uint64) error {
+	var best *cycleCheckpoint
+	for i := range cps {
+		if cps[i].Cycle <= target && (best == nil || cps[i].Cycle > best.Cycle) {
+			best = &cps[i]
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("no checkpoint at or below cycle %d (use -checkpoint-every)", target)
+	}
+	if err := rig.Restore(best.CP); err != nil {
+		return err
+	}
+	if target > best.Cycle {
+		rig.Core.Run(target - best.Cycle)
+	}
+	fmt.Printf("\n-- reverse-step: restored cycle-%d checkpoint, re-ran to cycle %d --\n",
+		best.Cycle, rig.Core.Cycle())
+	for i := 0; i < rig.Core.Contexts(); i++ {
+		ctx := rig.Core.Context(i)
+		if ctx.Program() == nil {
+			continue
+		}
+		s := ctx.Stats()
+		fmt.Printf("ctx%d: pc=%d halted=%t retired=%d faults=%d\n",
+			i, ctx.PC(), ctx.Halted(), s.Retired, s.PageFaults)
+	}
+	return nil
+}
+
+// writeCheckpoint snapshots the rig as it stands and writes the gob
+// image tools/snapdiff consumes.
+func writeCheckpoint(rig *experiments.Rig, path string) error {
+	cp, err := rig.Checkpoint()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Encode(f, cp.Machine); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote machine snapshot to %s (compare two with tools/snapdiff)\n", path)
 	return nil
 }
 

@@ -152,6 +152,14 @@ type Core struct {
 
 	rngState    uint64
 	jitterCount uint64
+
+	// Nondeterministic-input record log (see snapshot.go): every RDRAND
+	// draw delivered to software, bounded by rdrandLogCap. The RNG itself
+	// is a deterministic function of rngState, so the log adds no
+	// information to a snapshot — it exists so tools/snapdiff can show
+	// *which* draws two diverging runs disagreed on.
+	rdrandDraws uint64
+	rdrandLog   []uint64
 }
 
 // NewCore builds a core over the given physical memory.
@@ -232,8 +240,23 @@ func (c *Core) rdrand() uint64 {
 	x ^= x << 25
 	x ^= x >> 27
 	c.rngState = x
-	return x * 0x2545F4914F6CDD1D
+	v := x * 0x2545F4914F6CDD1D
+	c.rdrandDraws++
+	if len(c.rdrandLog) < rdrandLogCap {
+		c.rdrandLog = append(c.rdrandLog, v)
+	}
+	return v
 }
+
+// rdrandLogCap bounds the RDRAND record log: enough to cover every
+// builtin experiment's draws while keeping long fuzz runs from growing a
+// snapshot without bound. Draws past the cap are still counted in
+// rdrandDraws.
+const rdrandLogCap = 4096
+
+// RdrandLog returns the recorded RDRAND draws (up to rdrandLogCap) and
+// the total number of draws delivered.
+func (c *Core) RdrandLog() ([]uint64, uint64) { return c.rdrandLog, c.rdrandDraws }
 
 // Halted reports whether every context with a loaded program has halted.
 func (c *Core) Halted() bool { return c.nHalted == c.nLoaded }

@@ -1,0 +1,59 @@
+package mem
+
+import "fmt"
+
+// PhysSnap is the serializable state of a PhysMem. Data holds only the
+// allocated prefix (frames [0, NextFrame)): never-allocated frames are
+// all-zero by the PhysMem invariant, so a 64 MB machine that has touched
+// a few hundred KB snapshots in a few hundred KB.
+type PhysSnap struct {
+	Size      uint64 // total physical memory size in bytes
+	NextFrame uint64
+	FreeList  []uint64
+	Data      []byte // data[:NextFrame*PageSize]
+}
+
+// Snapshot captures the allocated prefix of physical memory plus the
+// allocator state.
+func (p *PhysMem) Snapshot() PhysSnap {
+	return PhysSnap{
+		Size:      uint64(len(p.data)),
+		NextFrame: p.nextFrame,
+		FreeList:  append([]uint64(nil), p.freeList...),
+		Data:      append([]byte(nil), p.data[:p.nextFrame*PageSize]...),
+	}
+}
+
+// Restore overwrites physical memory with a snapshot. The target must
+// have the same total size. Frames the target had allocated beyond the
+// snapshot's high-water mark are zeroed, re-establishing the invariant
+// that never-allocated frames read as zero; frames on the free list are
+// zeroed lazily by AllocFrame, as always.
+func (p *PhysMem) Restore(s PhysSnap) error {
+	if s.Size != uint64(len(p.data)) {
+		return fmt.Errorf("mem: snapshot of %d-byte physical memory restored into %d bytes",
+			s.Size, len(p.data))
+	}
+	if uint64(len(s.Data)) != s.NextFrame*PageSize {
+		return fmt.Errorf("mem: snapshot data %d bytes, want %d for %d frames",
+			len(s.Data), s.NextFrame*PageSize, s.NextFrame)
+	}
+	copy(p.data, s.Data)
+	if p.nextFrame > s.NextFrame {
+		hi := p.nextFrame * PageSize
+		for i := uint64(len(s.Data)); i < hi; i++ {
+			p.data[i] = 0
+		}
+	}
+	p.nextFrame = s.NextFrame
+	p.freeList = append(p.freeList[:0], s.FreeList...)
+	return nil
+}
+
+// AdoptAddressSpace rebuilds an AddressSpace handle over page tables that
+// already exist in phys (snapshot restore: the tables were restored as
+// part of the physical memory image; only the {root, pcid} handle needs
+// reconstructing).
+func AdoptAddressSpace(phys *PhysMem, root uint64, pcid uint16) *AddressSpace {
+	return &AddressSpace{phys: phys, root: root, pcid: pcid}
+}

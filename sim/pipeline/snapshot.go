@@ -1,0 +1,93 @@
+package pipeline
+
+import "fmt"
+
+// Snapshot types for the checkpoint/restore subsystem (sim/snapshot).
+// Each passive pipeline structure exposes a plain-data Snap struct plus
+// Snapshot/Restore methods; the composition into a whole-machine image
+// lives in sim/snapshot. ROB entries are snapshotted by sim/cpu (they
+// carry cross-entry producer pointers that need the context's rename
+// state to encode), so the ROB itself only provides ReplaceEntries.
+
+// PortSetSnap is the serializable state of a PortSet.
+type PortSetSnap struct {
+	Cycle         uint64
+	IssuedThis    [NumPorts]bool
+	DivBusyUntil  uint64
+	DivBusyCycles uint64
+}
+
+// Snapshot captures the port set's state.
+func (ps *PortSet) Snapshot() PortSetSnap {
+	return PortSetSnap{
+		Cycle:         ps.cycle,
+		IssuedThis:    ps.issuedThis,
+		DivBusyUntil:  ps.divBusyUntil,
+		DivBusyCycles: ps.DivBusyCycles,
+	}
+}
+
+// Restore overwrites the port set's state with a snapshot.
+func (ps *PortSet) Restore(s PortSetSnap) {
+	ps.cycle = s.Cycle
+	ps.issuedThis = s.IssuedThis
+	ps.divBusyUntil = s.DivBusyUntil
+	ps.DivBusyCycles = s.DivBusyCycles
+}
+
+// BTBSnap is one serializable branch-target-buffer entry.
+type BTBSnap struct {
+	Valid  bool
+	PC     int
+	Target int
+}
+
+// PredictorSnap is the serializable state of a Predictor.
+type PredictorSnap struct {
+	Counters    []uint8
+	BTB         []BTBSnap
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Snapshot captures the predictor's full table and statistics.
+func (bp *Predictor) Snapshot() PredictorSnap {
+	s := PredictorSnap{
+		Counters:    append([]uint8(nil), bp.counters...),
+		BTB:         make([]BTBSnap, len(bp.btb)),
+		Lookups:     bp.Lookups,
+		Mispredicts: bp.Mispredicts,
+	}
+	for i, e := range bp.btb {
+		s.BTB[i] = BTBSnap{Valid: e.valid, PC: e.pc, Target: e.target}
+	}
+	return s
+}
+
+// Restore overwrites the predictor's state with a snapshot. The snapshot
+// must have been taken from a predictor of the same geometry.
+func (bp *Predictor) Restore(s PredictorSnap) error {
+	if len(s.Counters) != len(bp.counters) || len(s.BTB) != len(bp.btb) {
+		return fmt.Errorf("pipeline: predictor snapshot geometry %d/%d, have %d/%d",
+			len(s.Counters), len(s.BTB), len(bp.counters), len(bp.btb))
+	}
+	copy(bp.counters, s.Counters)
+	for i, e := range s.BTB {
+		bp.btb[i] = btbEntry{valid: e.Valid, pc: e.PC, target: e.Target}
+	}
+	bp.Lookups = s.Lookups
+	bp.Mispredicts = s.Mispredicts
+	return nil
+}
+
+// ReplaceEntries swaps the ROB's in-flight entries for the given slice,
+// oldest first (snapshot restore). It returns an error instead of
+// panicking when the slice exceeds capacity: a corrupt or mismatched
+// snapshot must surface as a decode error, not a crash.
+func (r *ROB) ReplaceEntries(entries []*Entry) error {
+	if len(entries) > r.cap {
+		return fmt.Errorf("pipeline: %d snapshot entries exceed ROB capacity %d", len(entries), r.cap)
+	}
+	r.entries = append(r.entries[:0], entries...)
+	return nil
+}

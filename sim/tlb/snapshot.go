@@ -1,0 +1,88 @@
+package tlb
+
+import "fmt"
+
+// Snapshot types for the checkpoint/restore subsystem (sim/snapshot).
+
+// WaySnap is one serializable TLB way.
+type WaySnap struct {
+	Valid bool
+	Tr    Translation
+	LRU   uint64
+}
+
+// TLBSnap is the serializable state of one TLB. Ways is set-major:
+// Ways[set*WaysPerSet+way].
+type TLBSnap struct {
+	Sets, WaysPerSet int
+	Ways             []WaySnap
+	Clock            uint64
+	Hits             uint64
+	Misses           uint64
+}
+
+// Snapshot captures the TLB's full content and statistics.
+func (t *TLB) Snapshot() TLBSnap {
+	wps := 0
+	if len(t.sets) > 0 {
+		wps = len(t.sets[0])
+	}
+	s := TLBSnap{
+		Sets:       len(t.sets),
+		WaysPerSet: wps,
+		Ways:       make([]WaySnap, len(t.sets)*wps),
+		Clock:      t.clock,
+		Hits:       t.hits,
+		Misses:     t.misses,
+	}
+	for si, set := range t.sets {
+		for wi, w := range set {
+			s.Ways[si*wps+wi] = WaySnap{Valid: w.valid, Tr: w.tr, LRU: w.lru}
+		}
+	}
+	return s
+}
+
+// Restore overwrites the TLB's state with a snapshot taken from a TLB of
+// the same geometry.
+func (t *TLB) Restore(s TLBSnap) error {
+	wps := 0
+	if len(t.sets) > 0 {
+		wps = len(t.sets[0])
+	}
+	if s.Sets != len(t.sets) || s.WaysPerSet != wps || len(s.Ways) != s.Sets*s.WaysPerSet {
+		return fmt.Errorf("tlb %s: snapshot geometry %dx%d (%d ways), have %dx%d",
+			t.name, s.Sets, s.WaysPerSet, len(s.Ways), len(t.sets), wps)
+	}
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			ws := s.Ways[si*wps+wi]
+			t.sets[si][wi] = way{valid: ws.Valid, tr: ws.Tr, lru: ws.LRU}
+		}
+	}
+	t.clock = s.Clock
+	t.hits = s.Hits
+	t.misses = s.Misses
+	return nil
+}
+
+// UnitSnap is the serializable state of the full TLB complex.
+type UnitSnap struct {
+	L1D, L1I, L2 TLBSnap
+}
+
+// Snapshot captures all three TLBs.
+func (u *Unit) Snapshot() UnitSnap {
+	return UnitSnap{L1D: u.L1D.Snapshot(), L1I: u.L1I.Snapshot(), L2: u.L2.Snapshot()}
+}
+
+// Restore overwrites all three TLBs from a snapshot.
+func (u *Unit) Restore(s UnitSnap) error {
+	if err := u.L1D.Restore(s.L1D); err != nil {
+		return err
+	}
+	if err := u.L1I.Restore(s.L1I); err != nil {
+		return err
+	}
+	return u.L2.Restore(s.L2)
+}

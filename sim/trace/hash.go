@@ -27,6 +27,12 @@ type Hasher struct {
 // NewHasher returns a Hasher primed with the FNV offset basis.
 func NewHasher() *Hasher { return &Hasher{sum: fnvOffset} }
 
+// ResumeHasher returns a Hasher primed with a previously observed digest
+// and event count, so a run restored from a snapshot can continue the
+// original run's hash chain: hashing events [0,k) then resuming with
+// (Sum64, Events) over events [k,n) equals hashing [0,n) in one pass.
+func ResumeHasher(sum, events uint64) *Hasher { return &Hasher{sum: sum, events: events} }
+
 // Trace implements cpu.Tracer.
 func (h *Hasher) Trace(ev cpu.Event) {
 	h.events++

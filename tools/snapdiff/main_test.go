@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microscope/sim/cpu"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+	"microscope/sim/snapshot"
+)
+
+func writeSnap(t *testing.T, path string, mutate func(*snapshot.Machine)) {
+	t.Helper()
+	phys := mem.NewPhysMem(4 << 20)
+	core := cpu.NewCore(cpu.DefaultConfig(), phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	p, err := k.NewProcess("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(0, p)
+	m, err := snapshot.Capture(phys, core, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Encode(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.gob")
+	bPath := filepath.Join(dir, "b.gob")
+	cPath := filepath.Join(dir, "c.gob")
+	writeSnap(t, aPath, nil)
+	writeSnap(t, bPath, nil)
+	writeSnap(t, cPath, func(m *snapshot.Machine) { m.Core.Cycle = 123 })
+
+	a, err := load(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := load(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := load(cPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := snapshot.Diff(a, b); len(diffs) != 0 {
+		t.Errorf("identical machines diff: %v", diffs)
+	}
+	if diffs := snapshot.Diff(a, c); len(diffs) == 0 {
+		t.Error("mutated machine diffs clean")
+	}
+	if _, err := load(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("load of missing file succeeded")
+	}
+}
