@@ -149,6 +149,45 @@ func BuildCFG(p *isa.Program) (*CFG, error) {
 	return g, nil
 }
 
+// BranchRegion is the control-dependent region of one conditional
+// branch: the instructions reachable from exactly one of its two
+// successors (symmetric difference — the post-dominated join is
+// reachable from both and excluded). This is the same region
+// construction the taint pass uses for implicit flows; sim/sanitizer
+// consumes it so the dynamic sanitizer's implicit-taint windows agree
+// with the static pass instruction for instruction.
+type BranchRegion struct {
+	// PC is the branch's instruction index.
+	PC int
+	// Region[i] reports whether instruction i is control-dependent on
+	// the branch.
+	Region []bool
+}
+
+// BranchRegions returns the control-dependent region of every
+// two-successor conditional branch in the program, in ascending PC
+// order. Branches whose successors coincide (target == fallthrough)
+// have no region and are omitted.
+func (g *CFG) BranchRegions() []BranchRegion {
+	var out []BranchRegion
+	for i, in := range g.Prog.Instrs {
+		if !in.Op.IsCondBranch() {
+			continue
+		}
+		succs := g.InstrSuccs(i)
+		if len(succs) < 2 {
+			continue
+		}
+		r1, r2 := g.reachableFrom(succs[0]), g.reachableFrom(succs[1])
+		region := make([]bool, g.Prog.Len())
+		for j := range region {
+			region[j] = r1[j] != r2[j]
+		}
+		out = append(out, BranchRegion{PC: i, Region: region})
+	}
+	return out
+}
+
 // reachableFrom returns the instruction set reachable from start
 // (inclusive) by following instruction-level successors.
 func (g *CFG) reachableFrom(start int) []bool {

@@ -130,6 +130,53 @@ func findings(g *CFG, ti *taintInfo, cfg Config) []Finding {
 	return out
 }
 
+// TransmitPoint is an instruction the taint analysis classifies as a
+// transmitter, regardless of replay-handle coverage. Findings are the
+// subset of transmit points sitting in some handle's squash shadow;
+// the dynamic sanitizer (sim/sanitizer) observes transmits wherever
+// they execute, so its reconciliation pass needs the unscoped set to
+// tell "transmitter outside every replay window" (understood, not
+// replayable) from "transmitter the static taint pass missed" (a bug).
+type TransmitPoint struct {
+	Index    int              `json:"index"`
+	Instr    string           `json:"instr"`
+	Channel  sidechan.Channel `json:"channel"`
+	Severity Severity         `json:"severity"`
+	// Reached reports static reachability from the entry point.
+	Reached bool `json:"reached"`
+	// Shadowed reports coverage by some replay handle's squash shadow —
+	// exactly the transmit points that are also Findings.
+	Shadowed bool `json:"shadowed"`
+}
+
+// TransmitPoints classifies every instruction of p with the same taint
+// fixpoint and channel classifier as Analyze, but without the
+// replay-handle shadow filter.
+func TransmitPoints(p *isa.Program, sec Secrets, cfg Config) ([]TransmitPoint, error) {
+	g, err := BuildCFG(p)
+	if err != nil {
+		return nil, err
+	}
+	ti := taint(g, sec, cfg)
+	_, dist := shadow(g, ti, cfg.window())
+	var out []TransmitPoint
+	for i := range p.Instrs {
+		ch, sev, _, ok := classify(p, i, ti)
+		if !ok {
+			continue
+		}
+		out = append(out, TransmitPoint{
+			Index:    i,
+			Instr:    p.Instrs[i].String(),
+			Channel:  ch,
+			Severity: sev,
+			Reached:  ti.reached[i],
+			Shadowed: dist[i] > 0 && ti.reached[i],
+		})
+	}
+	return out, nil
+}
+
 // Severity ranks a finding.
 type Severity int
 
@@ -155,3 +202,14 @@ func (s Severity) String() string {
 
 // MarshalText renders the severity for JSON reports.
 func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a severity label, inverting MarshalText.
+func (s *Severity) UnmarshalText(b []byte) error {
+	for v := SevLow; v <= SevHigh; v++ {
+		if v.String() == string(b) {
+			*s = v
+			return nil
+		}
+	}
+	return fmt.Errorf("static: unknown severity %q", b)
+}

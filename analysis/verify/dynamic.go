@@ -149,6 +149,15 @@ func (r *runner) runOne(asg Assignment) (trace.Projections, error) {
 	return trace.ProjectTransient(rec.Events()), nil
 }
 
+// PatchProgram returns a copy of p with every immediate-load of an
+// assigned secret-home register rewritten to the assigned value — the
+// same program transformation the verifier's dynamic runs apply, so
+// external replayers (the SpecSan cross-validation in
+// attack/experiments) execute the exact program a witness was found on.
+func (a Assignment) PatchProgram(p *isa.Program) *isa.Program {
+	return patchSecretImms(p, a.Regs)
+}
+
 // patchSecretImms rewrites every immediate-load of an assigned secret-
 // home register to the assigned value.
 func patchSecretImms(p *isa.Program, regs []RegVal) *isa.Program {

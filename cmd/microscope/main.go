@@ -26,6 +26,7 @@ import (
 	"microscope/attack/replay"
 	"microscope/attack/victim"
 	"microscope/sim/cpu"
+	"microscope/sim/sanitizer"
 	"microscope/sim/snapshot"
 	"microscope/sim/trace"
 )
@@ -53,6 +54,14 @@ var traceOut = flag.String("trace", "",
 var showMetrics = flag.Bool("metrics", false,
 	"print deterministic aggregate pipeline metrics after the run (table2, timeline, execpath)")
 
+// sanitize attaches the SpecSan shadow-taint engine (sim/sanitizer) to
+// subcommands that drive a single simulated core: shadow state is
+// seeded from the victim's secret declaration, transmit events are
+// printed after the run with replay attribution, and -trace output
+// gains a "specsan" track pinning each finding to its replay iteration.
+var sanitize = flag.Bool("sanitize", false,
+	"attach the SpecSan taint sanitizer and report secret-transmit events after the run (table2, timeline, execpath)")
+
 // Checkpointing flags (timeline subcommand). -checkpoint-every snapshots
 // the whole machine (memory, core, kernel, module) on a fixed cycle
 // period into an in-memory list; -reverse-to K then "steps backwards" by
@@ -74,6 +83,30 @@ var checkpointOut = flag.String("checkpoint-out", "",
 type observers struct {
 	col *trace.Collector
 	met *trace.Metrics
+	san *sanitizer.Sanitizer
+}
+
+// attachSanitizer seeds a SpecSan shadow engine from the victim's
+// secret declaration and attaches it to the rig's core. Returns nil
+// without touching the core when -sanitize is unset, preserving the
+// zero-overhead-when-off guarantee.
+func (o *observers) attachSanitizer(rig *experiments.Rig, l *victim.Layout) error {
+	if !*sanitize {
+		return nil
+	}
+	san := sanitizer.New(rig.Core, sanitizer.DefaultConfig())
+	for _, r := range l.SecretRegs {
+		san.SeedReg(0, r, r.String())
+	}
+	for i, name := range l.SecretRegions {
+		rng := l.SecretMems()[i]
+		if err := san.SeedMemory(rig.Victim.AddressSpace(), rng[0], rng[1], name); err != nil {
+			return err
+		}
+	}
+	rig.Core.SetShadow(san)
+	o.san = san
+	return nil
 }
 
 // attachObservers builds the requested sinks and attaches them to core.
@@ -94,13 +127,25 @@ func attachObservers(core *cpu.Core) *observers {
 	return o
 }
 
-// finish writes the Chrome trace (annotated with the module's replay
-// timeline when one exists) and prints the metrics block.
+// finish prints the sanitizer findings (replay-attributed from the
+// module timeline), writes the Chrome trace (annotated with the
+// module's replay timeline and the specsan track), and prints the
+// metrics block.
 func (o *observers) finish(mod *microscope.Module) error {
+	if o.san != nil {
+		o.san.Flush()
+		if mod != nil {
+			o.san.AttributeReplays(experiments.ReplayWindows(mod.Timeline()))
+		}
+		printSanitizerFindings(o.san)
+	}
 	if o.col != nil {
 		var anns []trace.Annotation
 		if mod != nil {
 			anns = mod.TraceAnnotations()
+		}
+		if o.san != nil {
+			anns = append(anns, o.san.Annotations()...)
 		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -120,6 +165,24 @@ func (o *observers) finish(mod *microscope.Module) error {
 		fmt.Print(o.met.Text())
 	}
 	return nil
+}
+
+// printSanitizerFindings renders the SpecSan transmit-finding block.
+func printSanitizerFindings(san *sanitizer.Sanitizer) {
+	fmt.Println("\n-- SpecSan transmit findings --")
+	fs := san.Findings()
+	if len(fs) == 0 {
+		fmt.Println("none: no tainted data reached an observable channel")
+		return
+	}
+	for _, f := range fs {
+		flow := "explicit"
+		if f.Implicit {
+			flow = "implicit"
+		}
+		fmt.Printf("@%-4d %-24s %-15s %-9s transient %d/%d instances, %d replay window(s), taint %v\n",
+			f.PC, f.Instr, f.Channel, flow, f.Transient, f.Count, f.Replays, san.AtomLabels(f.Taint))
+	}
 }
 
 // printStats renders the post-run statistics block for core. The host
@@ -201,7 +264,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] [-stats] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] [-sanitize] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -215,6 +278,9 @@ func runTable2() error {
 		return err
 	}
 	obs := attachObservers(rig.Core)
+	if err := obs.attachSanitizer(rig, l); err != nil {
+		return err
+	}
 	u := rig.Module.User(rig.Victim)
 	fmt.Println("Table 2 — MicroScope user API")
 	fmt.Printf("provide_replay_handle(%#x)\n", l.Sym("handle"))
@@ -256,6 +322,9 @@ func runTimeline() error {
 		return err
 	}
 	obs := attachObservers(rig.Core)
+	if err := obs.attachSanitizer(rig, l); err != nil {
+		return err
+	}
 	rec := &microscope.Recipe{
 		Name:       "timeline",
 		Victim:     rig.Victim,
@@ -403,6 +472,9 @@ func runExecPath() error {
 		return err
 	}
 	obs := attachObservers(rig.Core)
+	if err := obs.attachSanitizer(rig, l); err != nil {
+		return err
+	}
 	steps := []string{}
 	rec := &microscope.Recipe{
 		Name:       "execpath",

@@ -23,6 +23,14 @@
 //	mscan -victim controlflow -prove -witness
 //	mscan -victim singlesecret -prove -repair -json
 //
+// With -sanitize it runs the victim under the MicroScope module with
+// the SpecSan shadow-taint sanitizer (sim/sanitizer) attached and
+// reconciles the dynamic transmit findings against the static scan
+// (see docs/sanitizer.md for the three-way protocol):
+//
+//	mscan -victim controlflow -sanitize
+//	mscan -victim aes -sanitize -json
+//
 // Scan an assembly file, declaring the secrets by hand:
 //
 //	mscan -asm prog.s -secret-mem 0x41000000:0x41001000 -secret-reg r5
@@ -50,6 +58,7 @@ import (
 
 	"microscope/analysis/static"
 	"microscope/analysis/verify"
+	"microscope/attack/experiments"
 	"microscope/attack/victim"
 	"microscope/sim/isa"
 )
@@ -66,6 +75,8 @@ type options struct {
 	secretRegs string
 	secretMems string
 	noRdrand   bool
+
+	sanitize bool
 
 	prove        bool
 	repair       bool
@@ -90,6 +101,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.StringVar(&o.secretRegs, "secret-reg", "", "comma-separated secret registers for -asm input (e.g. r5,r7)")
 	fs.StringVar(&o.secretMems, "secret-mem", "", "comma-separated secret ranges lo:hi for -asm input (hex accepted)")
 	fs.BoolVar(&o.noRdrand, "no-rdrand-taint", false, "do not treat RDRAND results as secrets")
+	fs.BoolVar(&o.sanitize, "sanitize", false, "run the victim under the SpecSan taint sanitizer and reconcile dynamic findings against the static scan")
 	fs.BoolVar(&o.prove, "prove", false, "run the verifier: classify PROVEN-SAFE / LEAKY / UNKNOWN with simulator-checked evidence")
 	fs.BoolVar(&o.repair, "repair", false, "with -prove: propose fence insertions and re-verify the patched program")
 	fs.BoolVar(&o.witness, "witness", false, "with -prove: print the full witness assignments and projections")
@@ -105,11 +117,11 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 
 // builtin describes one -victim target: a constructor returning the
 // layout whose program and secret declaration are scanned, and the
-// layout symbol of the replay handle the verifier's dynamic runs arm.
-// The handle must be an access the secret transmitter does NOT
-// data-depend on (dependent work never issues under the handle's
-// fault): aes arms its pre-loop stack slot rather than the key
-// schedule, singlesecret its count page.
+// layout symbol of the replay handle the verifier's dynamic runs (and
+// the -sanitize replay run) arm. The table itself lives in
+// attack/experiments (SanTargets) so the CLI, the sanitizer
+// cross-validation tests and the fuzz corpus agree on one set of
+// targets.
 type builtin struct {
 	name   string
 	handle string
@@ -117,37 +129,11 @@ type builtin struct {
 }
 
 func builtins() []builtin {
-	return []builtin{
-		{"aes", "stack", func() (*victim.Layout, error) {
-			v, err := victim.NewAESVictim([]byte("0123456789abcdef"), []byte("fedcba9876543210"))
-			if err != nil {
-				return nil, err
-			}
-			return v.Layout, nil
-		}},
-		{"modexp", "handle", func() (*victim.Layout, error) {
-			v, err := victim.NewModExpVictim(5, 0xb, 97, 4)
-			if err != nil {
-				return nil, err
-			}
-			return v.Layout, nil
-		}},
-		{"singlesecret", "count", func() (*victim.Layout, error) {
-			return victim.SingleSecret(3, true), nil
-		}},
-		{"controlflow", "handle", func() (*victim.Layout, error) {
-			return victim.ControlFlowSecret(true), nil
-		}},
-		{"loopsecret", "handle", func() (*victim.Layout, error) {
-			return victim.LoopSecret([]byte{3, 1, 4, 1, 5}), nil
-		}},
-		{"rdrand", "handle", func() (*victim.Layout, error) {
-			return victim.RdrandBias(), nil
-		}},
-		{"ctcontrol", "handle", func() (*victim.Layout, error) {
-			return victim.ConstantTime(), nil
-		}},
+	var out []builtin
+	for _, t := range experiments.SanTargets() {
+		out = append(out, builtin{t.Name, t.Handle, t.Build})
 	}
+	return out
 }
 
 func victimNames() []string {
@@ -185,8 +171,14 @@ func run(o options, out io.Writer) (int, error) {
 	if o.victim != "" && o.asm != "" {
 		return exitUsage, fmt.Errorf("-victim and -asm are mutually exclusive")
 	}
+	if o.prove && o.sanitize {
+		return exitUsage, fmt.Errorf("-prove and -sanitize are mutually exclusive")
+	}
 	if o.prove {
 		return runProve(o, out)
+	}
+	if o.sanitize {
+		return runSanitize(o, out)
 	}
 
 	var (

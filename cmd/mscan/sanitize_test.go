@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runSanitizeCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	o, err := parseFlags(newFlagSet(), args)
+	if err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	var buf bytes.Buffer
+	code, err := run(o, &buf)
+	if err != nil && code != exitUsage {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return code, buf.String()
+}
+
+func TestSanitizeExitCodes(t *testing.T) {
+	// A leaky victim under -fail: transient transmits observed -> 1.
+	code, out := runSanitizeCLI(t, "-victim", "controlflow", "-sanitize", "-fail")
+	if code != exitLeaky {
+		t.Errorf("controlflow -sanitize -fail: code %d, want %d\n%s", code, exitLeaky, out)
+	}
+	if !strings.Contains(out, "confirmed") {
+		t.Errorf("report lacks a confirmed reconciliation entry:\n%s", out)
+	}
+	// The constant-time control: no transmits -> 0 even under -fail.
+	code, out = runSanitizeCLI(t, "-victim", "ctcontrol", "-sanitize", "-fail")
+	if code != exitOK {
+		t.Errorf("ctcontrol -sanitize -fail: code %d, want %d\n%s", code, exitOK, out)
+	}
+	if !strings.Contains(out, "no dynamic transmit events") {
+		t.Errorf("clean report missing the no-findings line:\n%s", out)
+	}
+}
+
+func TestSanitizeUsageErrors(t *testing.T) {
+	if code, _ := runSanitizeCLI(t, "-sanitize"); code != exitUsage {
+		t.Errorf("-sanitize without -victim: code %d, want %d", code, exitUsage)
+	}
+	if code, _ := runSanitizeCLI(t, "-victim", "controlflow", "-sanitize", "-prove"); code != exitUsage {
+		t.Errorf("-sanitize with -prove: code %d, want %d", code, exitUsage)
+	}
+	if code, _ := runSanitizeCLI(t, "-victim", "nosuch", "-sanitize"); code != exitUsage {
+		t.Errorf("unknown victim: code %d, want %d", code, exitUsage)
+	}
+}
+
+func TestSanitizeJSON(t *testing.T) {
+	_, out := runSanitizeCLI(t, "-victim", "modexp", "-sanitize", "-json")
+	var doc sanitizeOutput
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Target != "modexp" {
+		t.Errorf("target %q, want modexp", doc.Target)
+	}
+	if doc.Replays == 0 || len(doc.Findings) == 0 {
+		t.Errorf("expected replays and findings: replays=%d findings=%d", doc.Replays, len(doc.Findings))
+	}
+	if doc.Reconciliation == nil || len(doc.Reconciliation.Entries) == 0 {
+		t.Error("reconciliation missing from JSON document")
+	}
+	if doc.Counts["UNEXPLAINED"] != 0 {
+		t.Errorf("unexplained entries in builtin run: %v", doc.Counts)
+	}
+}

@@ -156,6 +156,11 @@ func (ctx *Context) load(p *isa.Program, entry int) {
 	ctx.fetchPC = entry
 	ctx.fetchHalted = false
 	ctx.halted = false
+	if s := ctx.core.shadow; s != nil {
+		for _, e := range ctx.rob.Entries() {
+			s.ShadowSquash(ctx, e)
+		}
+	}
 	ctx.rob.SquashAll()
 	ctx.clearRAT()
 	ctx.recount()
@@ -189,6 +194,11 @@ func (ctx *Context) Stats() ContextStats { return ctx.stats }
 // flushes it at the boundary; the adversary primes it).
 func (ctx *Context) Predictor() *pipeline.Predictor { return ctx.bp }
 
+// ROBEntries exposes the in-flight ROB entries, oldest first, as a
+// read-only view of the backing slice (diagnostics and the shadow-taint
+// tracker; see pipeline.ROB.Entries for the mutation caveats).
+func (ctx *Context) ROBEntries() []*pipeline.Entry { return ctx.rob.Entries() }
+
 // PC returns the current fetch program counter.
 func (ctx *Context) PC() int { return ctx.fetchPC }
 
@@ -211,6 +221,14 @@ func (ctx *Context) rebuildRAT() {
 
 // squashAll flushes the context's whole pipeline (precise exception).
 func (ctx *Context) squashAll() {
+	if s := ctx.core.shadow; s != nil {
+		// Before truncation: each entry still holds its pre-squash state,
+		// so the tracker can tell executed (transient footprint) entries
+		// from never-issued ones.
+		for _, e := range ctx.rob.Entries() {
+			s.ShadowSquash(ctx, e)
+		}
+	}
 	ctx.stats.Squashed += uint64(ctx.rob.SquashAll())
 	ctx.clearRAT()
 	ctx.fetchHalted = false
@@ -219,6 +237,13 @@ func (ctx *Context) squashAll() {
 
 // squashYounger flushes everything younger than seq (branch mispredict).
 func (ctx *Context) squashYounger(seq uint64) {
+	if s := ctx.core.shadow; s != nil {
+		for _, e := range ctx.rob.Entries() {
+			if e.Seq > seq {
+				s.ShadowSquash(ctx, e)
+			}
+		}
+	}
 	ctx.stats.Squashed += uint64(ctx.rob.SquashYounger(seq))
 	ctx.rebuildRAT()
 	ctx.fetchHalted = false

@@ -149,6 +149,7 @@ type Core struct {
 
 	faultHandler FaultHandler
 	tracer       Tracer
+	shadow       ShadowTracker
 
 	rngState    uint64
 	jitterCount uint64
@@ -478,6 +479,9 @@ func (c *Core) complete() {
 			ctx.nIssued--
 			if e.Fault != nil && c.recheckFault(ctx, e) {
 				e.Fault = nil // the PTE became present before the walk concluded
+				if c.shadow != nil {
+					c.shadow.ShadowFaultResolved(ctx, e)
+				}
 			}
 			if e.Fault != nil {
 				e.State = pipeline.StateFaulted
@@ -588,6 +592,11 @@ func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
 	if c.tracer != nil {
 		c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Seq: e.Seq, Instr: e.Instr})
 	}
+	if c.shadow != nil {
+		// Before architectural effects: an OpTxAbort below fires
+		// ShadowTxAbort after the retire hook checkpointed/updated state.
+		c.shadow.ShadowRetire(ctx, e)
+	}
 
 	if d := e.Instr.Dest(); d != isa.NoReg {
 		ctx.regs[d] = e.Result
@@ -669,6 +678,9 @@ func (c *Core) abortTx(ctx *Context, reason string) {
 	ctx.fetchPC = ctx.txAbortPC
 	ctx.inTx = false
 	ctx.txWriteSet = nil
+	if c.shadow != nil {
+		c.shadow.ShadowTxAbort(ctx)
+	}
 	c.trace(Event{Context: ctx.id, Kind: EvTxAbort, PC: ctx.txAbortPC, Detail: reason})
 }
 
@@ -889,6 +901,9 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	if c.tracer != nil {
 		c.trace(Event{Context: ctx.id, Kind: EvIssue, PC: e.PC, Seq: e.Seq,
 			Instr: e.Instr, Walk: e.WalkCycles, Port: port, Addr: e.EffAddr})
+	}
+	if c.shadow != nil {
+		c.shadow.ShadowIssue(ctx, e, forward)
 	}
 
 	// Memory-order violation: this store's address matches a younger load
@@ -1142,6 +1157,9 @@ func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 	}
 	ctx.rob.Push(e)
 	ctx.nDispatched++
+	if c.shadow != nil {
+		c.shadow.ShadowDispatch(ctx, e)
+	}
 	ctx.wakeIssue() // a fresh entry may be issuable before the quiesce expiry
 	if ctx.isFenceActing(in.Op) {
 		ctx.nFences++

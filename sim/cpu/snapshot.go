@@ -96,6 +96,15 @@ type EntrySnap struct {
 	HasFault   bool
 	Fault      mem.Fault
 	WalkCycles int
+
+	// Shadow-taint fields (all zero unless a ShadowTracker was attached).
+	// SrcShadowProd encodes a pending shadow producer as its ROB index
+	// plus one (zero = none); producers whose taint is already final are
+	// folded into SrcShadow eagerly, mirroring snapOperand's resolution.
+	SrcShadow     [2]uint64
+	SrcShadowProd [2]int
+	Shadow        uint64
+	CtrlShadow    uint64
 }
 
 // ContextSnap is the serializable state of one SMT context.
@@ -232,6 +241,23 @@ func snapContext(ctx *Context) (ContextSnap, error) {
 			EffAddr:        e.EffAddr,
 			PhysAddr:       e.PhysAddr,
 			WalkCycles:     e.WalkCycles,
+			SrcShadow:      e.SrcShadow,
+			Shadow:         e.Shadow,
+			CtrlShadow:     e.CtrlShadow,
+		}
+		for i, p := range e.SrcShadowProducer {
+			if p == nil {
+				continue
+			}
+			if idx, ok := index[p]; ok && p.State == pipeline.StateDispatched {
+				// Producer not yet issued: its taint is not final, keep the link.
+				es.SrcShadowProd[i] = idx + 1
+			} else {
+				// Issued/completed/retired (or already outside the ROB): the
+				// producer's Shadow is final, resolve eagerly — exactly what
+				// the sanitizer's issue-time resolution would do later.
+				es.SrcShadow[i] |= p.Shadow
+			}
 		}
 		if e.Fault != nil {
 			f, ok := e.Fault.(*mem.Fault)
@@ -366,6 +392,9 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 			EffAddr:        es.EffAddr,
 			PhysAddr:       es.PhysAddr,
 			WalkCycles:     es.WalkCycles,
+			SrcShadow:      es.SrcShadow,
+			Shadow:         es.Shadow,
+			CtrlShadow:     es.CtrlShadow,
 		}
 		if es.HasFault {
 			f := es.Fault
@@ -384,6 +413,15 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 			default:
 				entries[i].Src[j] = pipeline.Operand{Producer: entries[os.Producer]}
 			}
+		}
+		for j, sp := range es.SrcShadowProd {
+			if sp == 0 {
+				continue
+			}
+			if sp < 1 || sp > len(entries) {
+				return fmt.Errorf("entry %d src %d: shadow producer index %d out of range", i, j, sp-1)
+			}
+			entries[i].SrcShadowProducer[j] = entries[sp-1]
 		}
 	}
 	if err := ctx.rob.ReplaceEntries(entries); err != nil {

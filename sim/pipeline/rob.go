@@ -84,6 +84,24 @@ type Entry struct {
 	PhysAddr   uint64 // translation result, valid unless Fault != nil
 	Fault      error  // pending precise exception (*mem.Fault wrapped by cpu)
 	WalkCycles int    // page-walk duration observed by this access (0 = TLB hit)
+
+	// Shadow-taint state, maintained by an attached cpu.ShadowTracker
+	// (sim/sanitizer). All zero while no tracker is attached; the cycle
+	// engine itself never reads these fields, so they cannot perturb
+	// timing or results.
+	//
+	// SrcShadow holds the taint mask of each source operand: captured
+	// from the architectural shadow registers at dispatch for
+	// ready-at-rename operands, and resolved from SrcShadowProducer at
+	// issue for renamed ones (the shadow analogue of OperandsReady).
+	// Shadow is the result's taint mask, final once the entry issues.
+	// CtrlShadow is implicit-flow taint: the union of the taints of
+	// older tainted branches whose control-dependent region contains
+	// this entry's PC.
+	SrcShadow         [2]uint64
+	SrcShadowProducer [2]*Entry
+	Shadow            uint64
+	CtrlShadow        uint64
 }
 
 // OperandsReady reports whether both sources are available.

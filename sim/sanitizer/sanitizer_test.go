@@ -1,0 +1,458 @@
+package sanitizer_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"microscope/analysis/sidechan"
+	"microscope/analysis/static"
+	"microscope/sim/cpu"
+	"microscope/sim/cpu/cputest"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+	"microscope/sim/sanitizer"
+	"microscope/sim/trace"
+)
+
+// --- taxonomy totality -------------------------------------------------
+
+// Every defined ISA op must be classified by SpecSan in agreement with
+// the sidechan taxonomy: ops the taxonomy marks as channel-bearing must
+// transmit under some taint disposition, ops marked ChanNone must never
+// transmit explicitly, and the explicit channel must be the taxonomy's.
+// New ops cannot silently bypass the sanitizer: they would fail
+// OpChannelDeclared here (and the sidechan totality test) first.
+func TestTransmitChannelTotalOverOps(t *testing.T) {
+	for op := isa.Op(0); int(op) < isa.OpCount; op++ {
+		if !sidechan.OpChannelDeclared(op) {
+			t.Errorf("%s: op missing from sidechan taxonomy", op)
+			continue
+		}
+		taxo := sidechan.OpChannel(op)
+		transmits := sanitizer.OpTransmits(op, true)
+		if got, want := transmits, taxo != sidechan.ChanNone; got != want {
+			t.Errorf("%s: OpTransmits=%v but taxonomy channel is %s", op, got, taxo)
+		}
+		// Explicit (data-taint) classification must match the taxonomy
+		// channel exactly.
+		ch, implicit, ok := sanitizer.TransmitChannel(op, true, true, false, true)
+		if ok {
+			if implicit {
+				t.Errorf("%s: data-tainted classification marked implicit", op)
+			}
+			if ch != taxo {
+				t.Errorf("%s: explicit channel %s, taxonomy says %s", op, ch, taxo)
+			}
+		} else if taxo != sidechan.ChanNone && op != isa.OpRdrand {
+			// Every channel-bearing op except rdrand (whose trigger is the
+			// draw itself, not operand taint) must fire on tainted operands.
+			t.Errorf("%s: taxonomy channel %s but no explicit classification", op, taxo)
+		}
+	}
+}
+
+// With TaintRdrand off, rdrand must still be flagged when control-
+// dependent on a secret, mirroring static classify's ctrl case.
+func TestTransmitChannelRdrandModes(t *testing.T) {
+	if ch, _, ok := sanitizer.TransmitChannel(isa.OpRdrand, false, false, false, false); ok {
+		t.Errorf("untainted rdrand with TaintRdrand=false classified as %s", ch)
+	}
+	ch, implicit, ok := sanitizer.TransmitChannel(isa.OpRdrand, false, false, true, false)
+	if !ok || !implicit || ch != sidechan.ChanRandom {
+		t.Errorf("ctrl-dependent rdrand: got (%s, implicit=%v, ok=%v), want (random-replay, true, true)", ch, implicit, ok)
+	}
+}
+
+// Every cpu tracer event kind must have an explicit sanitizer role.
+func TestEventKindRolesTotal(t *testing.T) {
+	for k := cpu.EventKind(0); int(k) < cpu.NumEventKinds; k++ {
+		if !sanitizer.EventKindDeclared(k) {
+			t.Errorf("event kind %s has no sanitizer role", k)
+		}
+	}
+	roles := map[sanitizer.Role]bool{}
+	for k := cpu.EventKind(0); int(k) < cpu.NumEventKinds; k++ {
+		roles[sanitizer.EventKindRole(k)] = true
+	}
+	for _, r := range []sanitizer.Role{
+		sanitizer.RoleLifecycle, sanitizer.RoleFootprint,
+		sanitizer.RoleDisposition, sanitizer.RoleModule,
+	} {
+		if !roles[r] {
+			t.Errorf("no event kind carries role %s", r)
+		}
+	}
+}
+
+// --- propagation -------------------------------------------------------
+
+// buildCore assembles a single-context core over a fresh data space.
+func buildCore(t *testing.T, prog *isa.Program) (*cpu.Core, *mem.AddressSpace) {
+	t.Helper()
+	as, err := cputest.NewDataSpace(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+	core.Context(0).SetAddressSpace(as)
+	core.Context(0).SetProgram(prog, 0)
+	return core, as
+}
+
+func attach(core *cpu.Core) *sanitizer.Sanitizer {
+	s := sanitizer.New(core, sanitizer.DefaultConfig())
+	core.SetShadow(s)
+	return s
+}
+
+// A secret register feeding a load address must produce an explicit
+// cache-set transmit; a public load must not.
+func TestExplicitCacheSetTransmit(t *testing.T) {
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(cputest.DataVA)).
+		MovImm(isa.R2, 0x40).        // secret index (R2 seeded below)
+		Add(isa.R3, isa.R1, isa.R2). // secret-derived address
+		Load(isa.R4, isa.R3, 0).     // pc=3: transmits
+		Load(isa.R5, isa.R1, 8).     // pc=4: public, no transmit
+		Halt().
+		MustBuild()
+	core, _ := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R2, "secret")
+	core.Run(1_000_000)
+
+	var hits []sanitizer.TransmitEvent
+	for _, ev := range s.Events() {
+		if ev.PC == 3 {
+			hits = append(hits, ev)
+		}
+		if ev.PC == 4 {
+			t.Errorf("public load flagged: %s", ev)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("secret-addressed load produced no transmit event")
+	}
+	for _, ev := range hits {
+		if ev.Channel != sidechan.ChanCacheSet || ev.Implicit {
+			t.Errorf("want explicit cache-set, got %s", ev)
+		}
+		if ev.Transient {
+			t.Errorf("retired load still marked transient: %s", ev)
+		}
+		if len(s.AtomLabels(ev.Taint)) == 0 || s.AtomLabels(ev.Taint)[0] != "secret" {
+			t.Errorf("taint labels %v, want [secret]", s.AtomLabels(ev.Taint))
+		}
+	}
+}
+
+// Taint must flow through memory: store a secret, load it back through
+// a clean pointer, and use the loaded value as an address.
+func TestTaintThroughMemory(t *testing.T) {
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(cputest.DataVA)).
+		MovImm(isa.R2, 0x33).
+		Store(isa.R2, isa.R1, 0). // secret value into memory
+		Fence().
+		Load(isa.R3, isa.R1, 0).     // reload: value is tainted, address clean
+		Add(isa.R4, isa.R1, isa.R3). // derive address from it
+		Load(isa.R5, isa.R4, 0).     // pc=6: transmits
+		Halt().
+		MustBuild()
+	core, _ := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R2, "k")
+	core.Run(1_000_000)
+
+	var found bool
+	for _, ev := range s.Events() {
+		if ev.PC == 6 && ev.Channel == sidechan.ChanCacheSet && !ev.Implicit {
+			found = true
+		}
+		if ev.PC == 4 {
+			t.Errorf("clean-addressed reload flagged: %s", ev)
+		}
+	}
+	if !found {
+		t.Error("taint did not survive the store/load round-trip")
+	}
+	// The secret byte's shadow must be visible in shadow memory.
+	leaf, _, err := core.Context(0).AddressSpace().LeafEntry(cputest.DataVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := leaf.PPN() << mem.PageShift
+	if s.MemShadow(pa) == 0 {
+		t.Error("stored secret left no shadow-memory taint")
+	}
+}
+
+// Overwriting a secret location with public data must clear its taint.
+func TestPublicOverwriteUntaints(t *testing.T) {
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(cputest.DataVA)).
+		MovImm(isa.R2, 7). // secret
+		Store(isa.R2, isa.R1, 0).
+		Fence().
+		MovImm(isa.R3, 9). // public
+		Store(isa.R3, isa.R1, 0).
+		Fence().
+		Load(isa.R4, isa.R1, 0).     // reload now-public value
+		Add(isa.R5, isa.R1, isa.R4). // address from it
+		Load(isa.R6, isa.R5, 0).     // pc=8: must NOT transmit
+		Halt().
+		MustBuild()
+	core, _ := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R2, "secret")
+	core.Run(1_000_000)
+	for _, ev := range s.Events() {
+		if ev.PC == 8 {
+			t.Errorf("load through untainted value flagged: %s", ev)
+		}
+	}
+}
+
+// A divide guarded by a secret branch must emit an implicit port
+// transmit, whichever side executes — including when the guarded work
+// dispatches only after the branch resolved (the replay-shadow gap the
+// persistent region taint covers).
+func TestImplicitBranchTransmit(t *testing.T) {
+	for _, secret := range []int64{0, 1} {
+		b := isa.NewBuilder().
+			MovImm(isa.R1, secret).
+			MovImm(isa.R2, 0).
+			MovImm(isa.R3, 100).
+			MovImm(isa.R4, 7).
+			Beq(isa.R1, isa.R2, "else").
+			Div(isa.R5, isa.R3, isa.R4). // taken-side divide
+			Jmp("join").
+			Label("else").
+			Div(isa.R6, isa.R3, isa.R4). // else-side divide
+			Label("join").
+			Halt()
+		prog := b.MustBuild()
+		core, _ := buildCore(t, prog)
+		s := attach(core)
+		s.SeedReg(0, isa.R1, "bit")
+		core.Run(1_000_000)
+
+		var implicitPort bool
+		for _, ev := range s.Events() {
+			if ev.Channel == sidechan.ChanPort && ev.Implicit {
+				implicitPort = true
+			}
+		}
+		if !implicitPort {
+			t.Errorf("secret=%d: no implicit port-contention transmit from guarded divide", secret)
+		}
+	}
+}
+
+// Squashed transient transmits must be recorded and keep Transient=true
+// after the squash, while the architecturally re-executed instance
+// retires with Transient=false.
+func TestTransientDisposition(t *testing.T) {
+	// A load dependent on a slow divide mispredicts... simplest reliable
+	// transient source: a branch the predictor gets wrong, guarding a
+	// secret-addressed load on the wrong path.
+	b := isa.NewBuilder().
+		MovImm(isa.R1, int64(cputest.DataVA)).
+		MovImm(isa.R2, 0x18). // secret
+		MovImm(isa.R3, 1).
+		MovImm(isa.R4, 1).
+		MovImm(isa.R7, 40).
+		MovImm(isa.R8, 1).
+		Add(isa.R5, isa.R1, isa.R2). // tainted address
+		Label("loop").
+		Sub(isa.R7, isa.R7, isa.R8).
+		Bne(isa.R3, isa.R4, "skip"). // always falls through; predictor must learn
+		Load(isa.R6, isa.R5, 0).     // executes every iteration (tainted load)
+		Label("skip").
+		Bne(isa.R7, isa.R2, "loop"). // loop until R7 == 0x18
+		Halt()
+	prog := b.MustBuild()
+	core, _ := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R2, "secret")
+	core.Run(2_000_000)
+
+	var retired, transient int
+	for _, ev := range s.Events() {
+		if ev.Channel != sidechan.ChanCacheSet {
+			continue
+		}
+		if ev.Transient {
+			transient++
+		} else {
+			retired++
+		}
+	}
+	if retired == 0 {
+		t.Error("no architectural cache-set transmit recorded")
+	}
+	if core.Context(0).Stats().Squashed > 0 && transient == 0 {
+		t.Log("run squashed entries but no transient transmit — acceptable if the load never sat in a mispredict shadow")
+	}
+}
+
+// --- findings & reconciliation ----------------------------------------
+
+func TestFindingsAggregateAndReconcile(t *testing.T) {
+	prog := isa.NewBuilder().
+		MovImm(isa.R1, int64(cputest.DataVA)).
+		MovImm(isa.R2, 0x20).
+		Add(isa.R3, isa.R1, isa.R2).
+		Load(isa.R4, isa.R3, 0).
+		Halt().
+		MustBuild()
+	core, _ := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R2, "secret")
+	core.Run(1_000_000)
+	s.Flush()
+
+	fs := s.Findings()
+	if len(fs) == 0 {
+		t.Fatal("no findings aggregated")
+	}
+	for _, f := range fs {
+		if f.Count == 0 {
+			t.Errorf("finding with zero count: %+v", f)
+		}
+	}
+
+	sec := static.Secrets{Regs: []isa.Reg{isa.R2}}
+	rep, err := static.Analyze("t", prog, sec, static.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := static.TransmitPoints(prog, sec, static.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Reconcile(rep, pts, 0)
+	if len(rec.Entries) == 0 {
+		t.Fatal("reconciliation produced no entries")
+	}
+	if un := rec.Unexplained(); len(un) != 0 {
+		t.Errorf("unexplained dynamic findings: %v", un)
+	}
+}
+
+// --- snapshot ----------------------------------------------------------
+
+func gobBytes(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Snap/Restore must round-trip bit-identically through gob, and the
+// restored sanitizer must keep producing identical state.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	prog := cputest.GenProgram(rng)
+	core, as := buildCore(t, prog)
+	s := attach(core)
+	s.SeedReg(0, isa.R3, "reg-secret")
+	if err := s.SeedMemory(as, cputest.DataVA, cputest.DataVA+64, "mem-secret"); err != nil {
+		t.Fatal(err)
+	}
+	core.Run(1_000_000)
+
+	snap1 := s.Snap()
+	enc1 := gobBytes(t, snap1)
+
+	var decoded sanitizer.Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(enc1)).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	core2, _ := buildCore(t, prog)
+	s2 := sanitizer.New(core2, sanitizer.DefaultConfig())
+	if err := s2.Restore(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	enc2 := gobBytes(t, s2.Snap())
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatal("snapshot round-trip is not bit-identical")
+	}
+	if got, want := s2.RegShadow(0, isa.R3), s.RegShadow(0, isa.R3); got != want {
+		t.Errorf("restored reg shadow %#x, want %#x", got, want)
+	}
+}
+
+func TestSnapshotRejectsContextMismatch(t *testing.T) {
+	core, _ := buildCore(t, isa.NewBuilder().Halt().MustBuild())
+	s := sanitizer.New(core, sanitizer.DefaultConfig())
+	if err := s.Restore(&sanitizer.Snapshot{}); err == nil {
+		t.Error("snapshot with zero contexts accepted by one-context core")
+	}
+}
+
+// --- zero overhead when off -------------------------------------------
+
+// With no sanitizer attached the shadow hooks are nil checks: a run must
+// allocate exactly as much as a baseline run, and produce an identical
+// trace-event stream.
+func TestSanitizerOffAddsNoAllocations(t *testing.T) {
+	prep := func() (*cpu.Core, *isa.Program) {
+		rng := rand.New(rand.NewSource(17))
+		prog := cputest.GenProgram(rng)
+		as, err := cputest.NewDataSpace(17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+		core.Context(0).SetAddressSpace(as)
+		return core, prog
+	}
+	run := func(core *cpu.Core, prog *isa.Program) {
+		core.Context(0).SetProgram(prog, 0)
+		core.Run(20_000_000)
+	}
+	coreA, progA := prep()
+	baseline := testing.AllocsPerRun(5, func() { run(coreA, progA) })
+
+	coreB, progB := prep()
+	coreB.SetShadow(sanitizer.New(coreB, sanitizer.DefaultConfig()))
+	coreB.SetShadow(nil) // attach and detach: must leave no residue
+	detached := testing.AllocsPerRun(5, func() { run(coreB, progB) })
+
+	if detached > baseline {
+		t.Errorf("detached-sanitizer run allocates %.1f, baseline %.1f", detached, baseline)
+	}
+}
+
+// The trace-event stream (hashed) must be identical with and without an
+// attached sanitizer: the observer must not perturb the simulation.
+func TestSanitizerDoesNotPerturbTrace(t *testing.T) {
+	runHash := func(withSan bool) uint64 {
+		rng := rand.New(rand.NewSource(29))
+		prog := cputest.GenAliasProgram(rng)
+		as, err := cputest.NewDataSpace(29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := cpu.NewCore(cpu.DefaultConfig(), as.Phys())
+		core.Context(0).SetAddressSpace(as)
+		core.Context(0).SetProgram(prog, 0)
+		h := trace.NewHasher()
+		core.SetTracer(h)
+		if withSan {
+			s := sanitizer.New(core, sanitizer.DefaultConfig())
+			s.SeedReg(0, isa.R1, "s")
+			core.SetShadow(s)
+		}
+		core.Run(20_000_000)
+		return h.Sum64()
+	}
+	if off, on := runHash(false), runHash(true); off != on {
+		t.Errorf("trace hash differs with sanitizer attached: %#x vs %#x", off, on)
+	}
+}

@@ -23,6 +23,11 @@ import (
 //   - maporder: ranging over a map and appending/printing inside the
 //     loop emits elements in a random order unless the accumulator is
 //     sorted afterwards.
+//   - goroutine: raw `go` statements fork execution whose interleaving
+//     (and hence any shared-state effect ordering) the scheduler picks
+//     per run. The one approved concurrency site is the analysis/sweep
+//     worker pool, which joins results in deterministic input order;
+//     everything else must route through it.
 
 // diagnostic is one finding, positioned for "file:line:col: msg" output.
 type diagnostic struct {
@@ -30,10 +35,17 @@ type diagnostic struct {
 	msg string
 }
 
+// goroutinePoolPkg is the one package allowed to start goroutines: its
+// worker pool joins results in deterministic input order, making the
+// scheduler's interleaving unobservable in the output.
+const goroutinePoolPkg = "microscope/analysis/sweep"
+
 // runChecks runs every check over a typechecked package and returns the
-// findings sorted by position. Test files (suffix _test.go) are skipped:
-// tests may use randomness for input generation.
-func runChecks(fset *token.FileSet, files []*ast.File, info *types.Info) []diagnostic {
+// findings sorted by position. pkgPath is the package's import path
+// (the goroutine-discipline check exempts the approved worker pool).
+// Test files (suffix _test.go) are skipped: tests may use randomness
+// for input generation and goroutines for harness plumbing.
+func runChecks(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string) []diagnostic {
 	var diags []diagnostic
 	report := func(pos token.Pos, format string, args ...interface{}) {
 		diags = append(diags, diagnostic{pos: pos, msg: fmt.Sprintf(format, args...)})
@@ -45,9 +57,27 @@ func runChecks(fset *token.FileSet, files []*ast.File, info *types.Info) []diagn
 		checkGlobalFuncs(f, info, report)
 		checkEnvDep(f, info, report)
 		checkMapOrder(f, info, report)
+		if pkgPath != goroutinePoolPkg {
+			checkGoroutine(f, report)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
 	return diags
+}
+
+// checkGoroutine flags raw go statements. Outside the approved
+// analysis/sweep worker pool, forked goroutines make effect ordering a
+// scheduler decision; concurrency must route through the pool, whose
+// result join is in deterministic input order.
+func checkGoroutine(f *ast.File, report func(token.Pos, string, ...interface{})) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			report(g.Pos(),
+				"goroutine discipline: raw go statement outside the approved %s worker pool; route concurrency through the sweep runner so results join in deterministic order",
+				goroutinePoolPkg)
+		}
+		return true
+	})
 }
 
 // randAllowed are the math/rand package-level functions that construct

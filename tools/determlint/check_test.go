@@ -91,7 +91,7 @@ func TestChecksAgainstFixture(t *testing.T) {
 	}
 
 	got := make(map[string]string)
-	for _, d := range runChecks(fset, files, info) {
+	for _, d := range runChecks(fset, files, info, "determ") {
 		pos := fset.Position(d.pos)
 		key := posKey(pos.Filename, pos.Line)
 		if prev, dup := got[key]; dup {
@@ -114,6 +114,36 @@ func TestChecksAgainstFixture(t *testing.T) {
 		if _, ok := wants[key]; !ok {
 			t.Errorf("%s: unexpected diagnostic %q", key, msg)
 		}
+	}
+}
+
+// The approved worker-pool package may use raw go statements: the same
+// sources that are flagged under any other import path must come back
+// clean when typechecked as microscope/analysis/sweep.
+func TestGoroutineExemption(t *testing.T) {
+	src := `package sweep
+
+func fanOut(jobs []func()) {
+	for _, j := range jobs {
+		go j()
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pool.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	tc := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := tc.Check("microscope/analysis/sweep", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typechecking synthetic pool: %v", err)
+	}
+	if diags := runChecks(fset, []*ast.File{f}, info, "microscope/analysis/sweep"); len(diags) != 0 {
+		t.Errorf("worker-pool package flagged: %v", diags)
+	}
+	if diags := runChecks(fset, []*ast.File{f}, info, "microscope/attack/experiments"); len(diags) != 1 {
+		t.Errorf("non-pool package: got %d diagnostics, want 1", len(diags))
 	}
 }
 

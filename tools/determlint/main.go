@@ -9,12 +9,15 @@
 //   - time.Now;
 //   - range-over-map loops whose iteration order reaches output
 //     (append to an outer accumulator that is never sorted, direct
-//     prints or stream writes).
+//     prints or stream writes);
+//   - raw go statements outside the approved analysis/sweep worker
+//     pool (goroutine discipline: the pool joins results in
+//     deterministic input order, everything else must route through it).
 //
 // Run it through the vet driver:
 //
 //	go build -o bin/determlint ./tools/determlint
-//	go vet -vettool=bin/determlint ./sim/... ./analysis/...
+//	go vet -vettool=bin/determlint ./sim/... ./analysis/... ./attack/... ./cmd/... ./tools/...
 //
 // The tool speaks the cmd/go vet-tool protocol (-V=full handshake,
 // -flags enumeration, then one invocation per package with a vet.cfg

@@ -1,0 +1,36 @@
+package determ
+
+import "sync"
+
+// Goroutine-discipline fixtures: raw go statements are flagged outside
+// the approved analysis/sweep worker pool (this fixture package is not
+// it), whether the forked function is named, a literal, or a method.
+
+func forkNamed() {
+	go work() // want `goroutine discipline: raw go statement outside the approved`
+}
+
+func forkLiteral(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `route concurrency through the sweep runner`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type runner struct{}
+
+func (runner) run() {}
+
+func forkMethod(r runner) {
+	go r.run() // want `goroutine discipline`
+}
+
+// Calling a function that could spawn internally is fine: the check is
+// syntactic over go statements, not interprocedural.
+func noFork() {
+	work()
+}
+
+func work() {}

@@ -97,7 +97,7 @@ func runUnit(cfgPath string) ([]diagnostic, error) {
 		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags := runChecks(fset, files, info)
+	diags := runChecks(fset, files, info, cfg.ImportPath)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.msg)
 	}
