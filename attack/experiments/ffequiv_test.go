@@ -30,6 +30,36 @@ type ffDigest struct {
 	faults    int
 	regs      [2][isa.NumRegs]uint64
 	stats     [2]cpu.ContextStats
+	memo      cpu.MemoStats
+}
+
+// ffAssertEqual requires two runs of the same scenario to be
+// observationally identical (trace hash, cycles, replays, registers,
+// statistics); skipped-cycle totals and memo statistics are compared by
+// the individual suites, which control the respective features.
+func ffAssertEqual(t *testing.T, on, off ffDigest, onLabel, offLabel string) {
+	t.Helper()
+	if on.traceHash != off.traceHash || on.events != off.events {
+		t.Errorf("trace diverges: %d events hash %#x (%s) vs %d events hash %#x (%s)",
+			on.events, on.traceHash, onLabel, off.events, off.traceHash, offLabel)
+	}
+	if on.cycles != off.cycles {
+		t.Errorf("final cycle diverges: %d (%s) vs %d (%s)", on.cycles, onLabel, off.cycles, offLabel)
+	}
+	if on.replays != off.replays || on.faults != off.faults {
+		t.Errorf("replay counts diverge: %d/%d (%s) vs %d/%d (%s)",
+			on.replays, on.faults, onLabel, off.replays, off.faults, offLabel)
+	}
+	for i := range on.regs {
+		if on.regs[i] != off.regs[i] {
+			t.Errorf("context %d registers diverge:\n %s: %v\n%s: %v",
+				i, onLabel, on.regs[i], offLabel, off.regs[i])
+		}
+		if on.stats[i] != off.stats[i] {
+			t.Errorf("context %d stats diverge:\n %s: %+v\n%s: %+v",
+				i, onLabel, on.stats[i], offLabel, off.stats[i])
+		}
+	}
 }
 
 // ffScenario describes one victim attack setup.
@@ -38,6 +68,7 @@ type ffScenario struct {
 	layout  func(t *testing.T) *victim.Layout
 	handle  string // symbol of the replay-handle page
 	monitor bool   // schedule a port-contention monitor on SMT context 1
+	rng     bool   // victim draws rdrand: every window starts from a new RNG state
 }
 
 func ffScenarios() []ffScenario {
@@ -92,20 +123,24 @@ func ffScenarios() []ffScenario {
 			name:   "rdrand-bias",
 			layout: func(*testing.T) *victim.Layout { return victim.RdrandBias() },
 			handle: "handle",
+			rng:    true,
 		},
 	}
 }
 
-// runFFScenario mounts the scenario with the given FastForward setting
-// and digests the run.
-func runFFScenario(t *testing.T, sc ffScenario, fastForward bool) ffDigest {
-	t.Helper()
+// ffJitterConfig is the base configuration of the fast-forward suite:
+// per-instruction timing noise on, so equivalence must survive it.
+func ffJitterConfig() cpu.Config {
 	cfg := cpu.DefaultConfig()
-	cfg.FastForward = fastForward
-	// Jitter on: per-instruction timing noise must survive skipping too.
 	cfg.JitterPeriod = 901
 	cfg.JitterExtra = 150
+	return cfg
+}
 
+// runFFScenario mounts the scenario under the given core configuration
+// and digests the run.
+func runFFScenario(t *testing.T, sc ffScenario, cfg cpu.Config) ffDigest {
+	t.Helper()
 	rig, err := NewRig(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +186,7 @@ func runFFScenario(t *testing.T, sc ffScenario, fastForward bool) ffDigest {
 		mon.Start(rig.Kernel, 1)
 	}
 	if err := rig.Run(5_000_000); err != nil {
-		t.Fatalf("fastForward=%v: %v", fastForward, err)
+		t.Fatalf("fastForward=%v replayMemo=%v: %v", cfg.FastForward, cfg.ReplayMemo, err)
 	}
 
 	d := ffDigest{
@@ -161,6 +196,7 @@ func runFFScenario(t *testing.T, sc ffScenario, fastForward bool) ffDigest {
 		skipped:   rig.Core.SkippedCycles(),
 		replays:   rec.Replays(),
 		faults:    rec.TotalFaults(),
+		memo:      rig.Core.MemoStats(),
 	}
 	for i := 0; i < rig.Core.Contexts() && i < 2; i++ {
 		ctx := rig.Core.Context(i)
@@ -179,8 +215,12 @@ func TestFastForwardEquivalence(t *testing.T) {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			t.Parallel()
-			on := runFFScenario(t, sc, true)
-			off := runFFScenario(t, sc, false)
+			onCfg := ffJitterConfig()
+			onCfg.FastForward = true
+			offCfg := ffJitterConfig()
+			offCfg.FastForward = false
+			on := runFFScenario(t, sc, onCfg)
+			off := runFFScenario(t, sc, offCfg)
 
 			if off.skipped != 0 {
 				t.Errorf("skip-off run skipped %d cycles", off.skipped)
@@ -188,27 +228,84 @@ func TestFastForwardEquivalence(t *testing.T) {
 			if on.skipped == 0 {
 				t.Errorf("skip-on run skipped nothing: the scenario does not exercise fast-forward")
 			}
-			if on.traceHash != off.traceHash || on.events != off.events {
-				t.Errorf("trace diverges: %d events hash %#x (on) vs %d events hash %#x (off)",
-					on.events, on.traceHash, off.events, off.traceHash)
+			if on.skipped != off.skipped && off.skipped != 0 {
+				t.Errorf("skipped cycles diverge: %d (on) vs %d (off)", on.skipped, off.skipped)
 			}
-			if on.cycles != off.cycles {
-				t.Errorf("final cycle diverges: %d (on) vs %d (off)", on.cycles, off.cycles)
+			ffAssertEqual(t, on, off, " on", "off")
+		})
+	}
+}
+
+// TestMemoEquivalence is the replay-splice analogue of the fast-forward
+// suite: every builtin victim runs the full attack with Config.ReplayMemo
+// on and off, and the runs must be observationally identical. Jitter is
+// disabled here so the steady-state replay loop actually revisits
+// fingerprints: solo (non-monitor) scenarios must then splice at least
+// one window, proving the cache engages end to end through the kernel and
+// the MicroScope module. Monitor scenarios keep a second context live, so
+// the solo gate keeps the memo idle there — asserted too.
+func TestMemoEquivalence(t *testing.T) {
+	for _, sc := range ffScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			onCfg := cpu.DefaultConfig()
+			onCfg.ReplayMemo = true
+			offCfg := cpu.DefaultConfig()
+			offCfg.ReplayMemo = false
+			on := runFFScenario(t, sc, onCfg)
+			off := runFFScenario(t, sc, offCfg)
+
+			if off.memo != (cpu.MemoStats{}) {
+				t.Errorf("memo-off run has memo activity: %+v", off.memo)
 			}
-			if on.replays != off.replays || on.faults != off.faults {
-				t.Errorf("replay counts diverge: %d/%d (on) vs %d/%d (off)",
-					on.replays, on.faults, off.replays, off.faults)
-			}
-			for i := range on.regs {
-				if on.regs[i] != off.regs[i] {
-					t.Errorf("context %d registers diverge:\n on: %v\noff: %v",
-						i, on.regs[i], off.regs[i])
+			switch {
+			case sc.monitor:
+				if on.memo.Hits != 0 {
+					t.Errorf("memo spliced %d windows with a live SMT monitor (solo gate breached): %+v",
+						on.memo.Hits, on.memo)
 				}
-				if on.stats[i] != off.stats[i] {
-					t.Errorf("context %d stats diverge:\n on: %+v\noff: %+v",
-						i, on.stats[i], off.stats[i])
+			case sc.rng:
+				// Each replay window consumes rdrand draws, so every window
+				// starts from a fresh RNG state and fingerprints never
+				// repeat — misses are the correct behavior here.
+				if on.memo.Hits != 0 {
+					t.Errorf("memo spliced %d windows despite per-window RNG advance: %+v",
+						on.memo.Hits, on.memo)
 				}
+				if on.memo.Misses == 0 {
+					t.Errorf("rng victim never probed the memo: %+v", on.memo)
+				}
+			case on.memo.Hits == 0:
+				t.Errorf("memo never spliced in a solo replay loop: %+v", on.memo)
 			}
+			if on.skipped != off.skipped {
+				t.Errorf("skipped cycles diverge: %d (on) vs %d (off)", on.skipped, off.skipped)
+			}
+			ffAssertEqual(t, on, off, " on", "off")
+		})
+	}
+}
+
+// TestMemoEquivalenceUnderJitter repeats the differential with the
+// fast-forward suite's jitter schedule. Jitter phases walk the window
+// fingerprint, so splices are rare-to-absent here — the point is purely
+// that whatever the memo does under timing noise stays invisible.
+func TestMemoEquivalenceUnderJitter(t *testing.T) {
+	for _, sc := range ffScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			onCfg := ffJitterConfig()
+			onCfg.ReplayMemo = true
+			offCfg := ffJitterConfig()
+			offCfg.ReplayMemo = false
+			on := runFFScenario(t, sc, onCfg)
+			off := runFFScenario(t, sc, offCfg)
+			if on.skipped != off.skipped {
+				t.Errorf("skipped cycles diverge: %d (on) vs %d (off)", on.skipped, off.skipped)
+			}
+			ffAssertEqual(t, on, off, " on", "off")
 		})
 	}
 }

@@ -48,7 +48,7 @@ func loadGolden(t *testing.T) map[string]goldenDigest {
 func TestGoldenTraces(t *testing.T) {
 	got := map[string]goldenDigest{}
 	for _, sc := range ffScenarios() {
-		d := runFFScenario(t, sc, true)
+		d := runFFScenario(t, sc, ffJitterConfig())
 		got[sc.name] = goldenDigest{
 			TraceHash: fmt.Sprintf("%#016x", d.traceHash),
 			Events:    d.events,

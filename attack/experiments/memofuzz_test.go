@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"microscope/attack/microscope"
+	"microscope/sim/cpu"
+	"microscope/sim/isa"
+	"microscope/sim/trace"
+)
+
+// memoFuzzDigest is everything observable about one fuzzed attack run.
+type memoFuzzDigest struct {
+	traceHash uint64
+	events    uint64
+	cycles    uint64
+	replays   int
+	faults    int
+	regs      [isa.NumRegs]uint64
+	stats     cpu.ContextStats
+	memo      cpu.MemoStats
+}
+
+// runMemoMutant mounts a mutant layout (rebuilt per run — Install
+// patches program state) under the given ReplayMemo setting and digests
+// the full attack.
+func runMemoMutant(t *testing.T, sel uint8, a uint64, tail []byte, handleSym string,
+	maxReplays int, handlerLat uint64, memoOn bool) (memoFuzzDigest, bool) {
+	t.Helper()
+	lay, _ := mutantLayout(sel, a, tail)
+	cfg := cpu.DefaultConfig()
+	cfg.ReplayMemo = memoOn
+	rig, err := NewRig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.InstallVictim(lay); err != nil {
+		return memoFuzzDigest{}, false
+	}
+	rec := &microscope.Recipe{
+		Name:           "memofuzz",
+		Victim:         rig.Victim,
+		Handle:         lay.Sym(handleSym),
+		HandlerLatency: handlerLat,
+		MaxReplays:     maxReplays,
+	}
+	if err := rig.Module.Install(rec); err != nil {
+		return memoFuzzDigest{}, false
+	}
+	h := trace.NewHasher()
+	rig.Core.SetTracer(h)
+	lay.Start(rig.Kernel, 0)
+	if err := rig.Run(5_000_000); err != nil {
+		return memoFuzzDigest{}, false
+	}
+	d := memoFuzzDigest{
+		traceHash: h.Sum64(),
+		events:    h.Events(),
+		cycles:    rig.Core.Cycle(),
+		replays:   rec.Replays(),
+		faults:    rec.TotalFaults(),
+		stats:     rig.Core.Context(0).Stats(),
+		memo:      rig.Core.MemoStats(),
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		d.regs[r] = rig.Core.Context(0).Reg(r)
+	}
+	return d, true
+}
+
+// FuzzMemoEquivalence drives mutated victims through full replay attacks
+// with the splice cache enabled and asserts the memo soundness
+// invariant: the run must be observationally identical to the same
+// attack with the cache off — same canonical trace hash, cycle count,
+// architectural registers, statistics and replay/fault totals — for any
+// victim parameterization and replay budget the fuzzer finds.
+func FuzzMemoEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint64(3), []byte{}, uint8(6), uint16(500))
+	f.Add(uint8(0), uint64(7), []byte{}, uint8(10), uint16(2000))
+	f.Add(uint8(1), uint64(1), []byte{}, uint8(4), uint16(900))
+	f.Add(uint8(2), uint64(0), []byte{3, 1, 4, 1, 5}, uint8(3), uint16(1200))
+	f.Add(uint8(3), uint64(5|10<<8|60<<16|3<<24), []byte{}, uint8(8), uint16(700))
+	f.Fuzz(func(t *testing.T, sel uint8, a uint64, tail []byte, replays uint8, lat uint16) {
+		lay, handleSym := mutantLayout(sel, a, tail)
+		if lay == nil {
+			t.Skip("constructor rejected parameterization")
+		}
+		if _, ok := lay.Symbols[handleSym]; !ok {
+			t.Skip("mutant has no replay handle symbol")
+		}
+		maxReplays := 1 + int(replays%12)
+		handlerLat := 100 + uint64(lat%20_000)
+		on, ok := runMemoMutant(t, sel, a, tail, handleSym, maxReplays, handlerLat, true)
+		if !ok {
+			t.Skip("mutant attack did not complete")
+		}
+		off, ok := runMemoMutant(t, sel, a, tail, handleSym, maxReplays, handlerLat, false)
+		if !ok {
+			t.Fatal("memo-off run failed where memo-on completed")
+		}
+		if off.memo != (cpu.MemoStats{}) {
+			t.Errorf("memo-off run has memo activity: %+v", off.memo)
+		}
+		if on.traceHash != off.traceHash || on.events != off.events {
+			t.Errorf("sel=%d a=%#x replays=%d lat=%d: trace diverges: %d events hash %#x (on, %+v) vs %d events hash %#x (off)",
+				sel, a, maxReplays, handlerLat, on.events, on.traceHash, on.memo, off.events, off.traceHash)
+		}
+		if on.cycles != off.cycles {
+			t.Errorf("final cycle diverges: %d (on) vs %d (off)", on.cycles, off.cycles)
+		}
+		if on.replays != off.replays || on.faults != off.faults {
+			t.Errorf("replay counts diverge: %d/%d (on) vs %d/%d (off)",
+				on.replays, on.faults, off.replays, off.faults)
+		}
+		if on.regs != off.regs {
+			t.Errorf("registers diverge:\n on: %v\noff: %v", on.regs, off.regs)
+		}
+		if on.stats != off.stats {
+			t.Errorf("stats diverge:\n on: %+v\noff: %+v", on.stats, off.stats)
+		}
+	})
+}

@@ -11,8 +11,8 @@
 package bench
 
 import (
+	"flag"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
@@ -27,6 +27,23 @@ import (
 	"microscope/sim/isa"
 	"microscope/sim/mem"
 )
+
+// sweepWorkers pins the parallel worker count of the sweep benchmarks.
+// Deliberately a fixed default rather than the machine's core count
+// (runtime.NumCPU is banned by determlint, and a machine-derived count
+// would make the committed BENCH_*.json metrics incomparable across
+// hosts): every sweep benchmark runs the same schedule everywhere, and
+// the count it actually used is reported in its metric block. Override
+// with -sweep-workers to measure scaling on a specific machine.
+var sweepWorkers = flag.Int("sweep-workers", 4,
+	"pinned parallel worker count for the sweep benchmarks")
+
+// reportSweepWorkers puts the pinned worker count into a sweep
+// benchmark's metric block, so committed bench JSON records the
+// schedule its numbers were measured under.
+func reportSweepWorkers(b *testing.B, workers int) {
+	b.ReportMetric(float64(workers), "workers")
+}
 
 // reportSimThroughput reports how many millions of simulated cycles the
 // benchmark pushed through per wall-clock second — the simulator-speed
@@ -224,11 +241,11 @@ func BenchmarkSec62FullExtraction(b *testing.B) {
 // BenchmarkSweepAESKeyExtraction measures the analysis/sweep worker pool
 // on the heaviest workload: the 8-trial first-round key-byte recovery
 // (one full §6.2 extraction per trial). It runs the identical sweep
-// serially (workers=1) and in parallel (workers=GOMAXPROCS), verifies
-// the results are equal — the sweep determinism guarantee — and reports
-// both wall-clock times plus the speedup, so the parallel-vs-serial
-// trajectory lands in the bench history. On a single-core runner the
-// speedup metric sits near 1x by construction.
+// serially (workers=1) and in parallel (workers=-sweep-workers),
+// verifies the results are equal — the sweep determinism guarantee —
+// and reports both wall-clock times plus the speedup, so the
+// parallel-vs-serial trajectory lands in the bench history. On a
+// single-core runner the speedup metric sits near 1x by construction.
 func BenchmarkSweepAESKeyExtraction(b *testing.B) {
 	cfg := experiments.DefaultAESConfig()
 	const trials = 8
@@ -241,7 +258,7 @@ func BenchmarkSweepAESKeyExtraction(b *testing.B) {
 		}
 		serialNs = float64(time.Since(start).Nanoseconds())
 		start = time.Now()
-		parallel, err := experiments.RunAESKeyByteSweep(cfg, trials, 0)
+		parallel, err := experiments.RunAESKeyByteSweep(cfg, trials, *sweepWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -256,7 +273,7 @@ func BenchmarkSweepAESKeyExtraction(b *testing.B) {
 	b.ReportMetric(serialNs, "serial-ns")
 	b.ReportMetric(parallelNs, "parallel-ns")
 	b.ReportMetric(serialNs/parallelNs, "sweep-speedup-x")
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	reportSweepWorkers(b, *sweepWorkers)
 }
 
 // BenchmarkSweepFig10Trials measures the repeated-trial Fig. 10 sweep
@@ -274,7 +291,7 @@ func BenchmarkSweepFig10Trials(b *testing.B) {
 			b.Fatal(err)
 		}
 		serialNs = float64(time.Since(start).Nanoseconds())
-		cfg.Workers = 0
+		cfg.Workers = *sweepWorkers
 		start = time.Now()
 		parallel, err := experiments.RunFig10Sweep(cfg, trials)
 		if err != nil {
@@ -288,6 +305,7 @@ func BenchmarkSweepFig10Trials(b *testing.B) {
 	b.ReportMetric(serialNs, "serial-ns")
 	b.ReportMetric(parallelNs, "parallel-ns")
 	b.ReportMetric(serialNs/parallelNs, "sweep-speedup-x")
+	reportSweepWorkers(b, *sweepWorkers)
 }
 
 // BenchmarkCheckpointForkKeysweep measures what checkpoint/fork buys the
@@ -327,6 +345,7 @@ func BenchmarkCheckpointForkKeysweep(b *testing.B) {
 	b.ReportMetric(coldNs/forkNs, "fork-speedup-x")
 	b.ReportMetric(float64(trials)/(coldNs/1e9), "coldboot-trials-per-sec")
 	b.ReportMetric(float64(trials)/(forkNs/1e9), "fork-trials-per-sec")
+	reportSweepWorkers(b, 1) // both legs pinned serial: isolates setup cost
 }
 
 // BenchmarkCheckpointForkFig10 is the same cold-boot vs fork comparison
@@ -359,6 +378,7 @@ func BenchmarkCheckpointForkFig10(b *testing.B) {
 	b.ReportMetric(forkNs, "fork-ns")
 	b.ReportMetric(coldNs/forkNs, "fork-speedup-x")
 	b.ReportMetric(float64(trials)/(forkNs/1e9), "fork-trials-per-sec")
+	reportSweepWorkers(b, 1) // both legs pinned serial: isolates setup cost
 }
 
 // BenchmarkFig12ReplayHandles runs the three generalized replay handles.

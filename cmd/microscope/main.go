@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"microscope/analysis/sidechan"
 	"microscope/attack/baseline"
@@ -39,10 +40,19 @@ var workers = flag.Int("workers", 0,
 
 // showStats, for subcommands that drive a single simulated core (table2,
 // timeline, execpath, walk), appends per-context pipeline statistics, the
-// fast-forward skip count and host allocation counters after the
-// subcommand's normal output.
+// fast-forward skip count, the replay-memo splice counters and host
+// allocation counters after the subcommand's normal output.
 var showStats = flag.Bool("stats", false,
-	"print per-context pipeline statistics, fast-forward skip counts and host allocation counters after the run")
+	"print per-context pipeline statistics, fast-forward skip counts, replay-memo counters and host allocation counters after the run")
+
+// Profiling hooks: the CLI doubles as the perf-work harness, so any
+// subcommand can be profiled directly instead of reconstructing its
+// workload in a benchmark.
+var cpuProfile = flag.String("cpuprofile", "",
+	"write a CPU profile of the whole run to this file (inspect with `go tool pprof`)")
+
+var memProfile = flag.String("memprofile", "",
+	"write a heap profile at command exit to this file (inspect with `go tool pprof`)")
 
 // traceOut and showMetrics attach the sim/trace observability stack to
 // subcommands that drive a single simulated core (table2, timeline,
@@ -211,6 +221,9 @@ func printStats(core *cpu.Core) {
 		fmt.Printf("       mispredicts=%d memorder=%d stall-cycles=%d skipped-cycles=%d\n",
 			s.Mispredicts, s.MemOrderViolations, s.StallCycles, s.SkippedCycles)
 	}
+	mm := core.MemoStats()
+	fmt.Printf("memo:  hits=%d misses=%d invalidations=%d spliced-cycles=%d\n",
+		mm.Hits, mm.Misses, mm.Invalidations, mm.SplicedCycles)
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	fmt.Printf("host:  heap-allocs=%d heap-bytes=%d gc-cycles=%d\n",
@@ -232,8 +245,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microscope: -checkpoint-every/-reverse-to/-checkpoint-out only apply to the timeline subcommand")
 		os.Exit(2)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microscope:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "microscope:", err)
+			os.Exit(1)
+		}
+	}
+	err := dispatch(flag.Arg(0))
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		if werr := writeHeapProfile(*memProfile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microscope:", err)
+		os.Exit(1)
+	}
+}
+
+// writeHeapProfile snapshots the heap (after a GC, so the profile shows
+// live data rather than collectible garbage) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", path)
+	return nil
+}
+
+// dispatch runs the named subcommand.
+func dispatch(cmd string) error {
 	var err error
-	switch flag.Arg(0) {
+	switch cmd {
 	case "table1":
 		fmt.Print(sidechan.FormatTable1(sidechan.Table1()))
 	case "table2":
@@ -256,15 +317,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "microscope:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] [-stats] [-sanitize] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] [-cpuprofile f] [-memprofile f] [-sanitize] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.

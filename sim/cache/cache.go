@@ -84,6 +84,11 @@ type Cache struct {
 	misses    uint64
 	lineShift uint
 	setMask   uint64
+
+	// Replay-memo recording hooks (nil when no recording is active; see
+	// memo.go).
+	onTouch func(set int)
+	onInval func()
 }
 
 // New builds a cache from cfg, panicking on invalid configuration (caches
@@ -128,6 +133,9 @@ func log2(n int) int {
 // Lookup probes the cache without modifying replacement state.
 func (c *Cache) Lookup(pa uint64) bool {
 	set, tag := c.index(pa)
+	if c.onTouch != nil {
+		c.onTouch(int(set))
+	}
 	for i := range c.sets[set] {
 		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
 			return true
@@ -141,6 +149,9 @@ func (c *Cache) Lookup(pa uint64) bool {
 // ok=true.
 func (c *Cache) Access(pa uint64) (hit bool, evicted uint64, evictedOK bool) {
 	set, tag := c.index(pa)
+	if c.onTouch != nil {
+		c.onTouch(int(set))
+	}
 	c.lruClock++
 	lines := c.sets[set]
 	for i := range lines {
@@ -177,6 +188,9 @@ func (c *Cache) lineAddr(set, tag uint64) uint64 {
 // present (clflush semantics).
 func (c *Cache) Flush(pa uint64) bool {
 	set, tag := c.index(pa)
+	if c.onInval != nil {
+		c.onInval()
+	}
 	for i := range c.sets[set] {
 		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
 			c.sets[set][i].valid = false
@@ -188,6 +202,9 @@ func (c *Cache) Flush(pa uint64) bool {
 
 // FlushAll invalidates every line.
 func (c *Cache) FlushAll() {
+	if c.onInval != nil {
+		c.onInval()
+	}
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			c.sets[s][w].valid = false

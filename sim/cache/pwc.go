@@ -20,6 +20,11 @@ type PWC struct {
 	clock    uint64
 	hits     uint64
 	misses   uint64
+
+	// Replay-memo recording hooks and splice scratch (see memo.go).
+	onTouch      func()
+	onInval      func()
+	applyScratch []pwcEntry
 }
 
 type pwcEntry struct {
@@ -50,6 +55,9 @@ func (p *PWC) find(ea uint64) int {
 // Lookup reports whether the page-table entry at physical address ea is
 // cached, updating recency on hit.
 func (p *PWC) Lookup(ea uint64) bool {
+	if p.onTouch != nil {
+		p.onTouch()
+	}
 	p.clock++
 	if i := p.find(ea); i >= 0 {
 		p.entries[i].lru = p.clock
@@ -65,6 +73,9 @@ func (p *PWC) Lookup(ea uint64) bool {
 func (p *PWC) Insert(ea uint64, level mem.Level) {
 	if level == mem.PTE || p.capacity <= 0 {
 		return
+	}
+	if p.onTouch != nil {
+		p.onTouch()
 	}
 	p.clock++
 	if i := p.find(ea); i >= 0 {
@@ -89,6 +100,9 @@ func (p *PWC) Insert(ea uint64, level mem.Level) {
 // Flush removes the entry at ea (MicroScope setup flushes the PWC along
 // with the cache hierarchy so the walk starts from scratch).
 func (p *PWC) Flush(ea uint64) {
+	if p.onInval != nil {
+		p.onInval()
+	}
 	if i := p.find(ea); i >= 0 {
 		p.entries[i] = p.entries[p.n-1]
 		p.n--
@@ -96,7 +110,12 @@ func (p *PWC) Flush(ea uint64) {
 }
 
 // FlushAll empties the PWC.
-func (p *PWC) FlushAll() { p.n = 0 }
+func (p *PWC) FlushAll() {
+	if p.onInval != nil {
+		p.onInval()
+	}
+	p.n = 0
+}
 
 // Len returns the number of cached entries.
 func (p *PWC) Len() int { return p.n }

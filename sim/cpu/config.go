@@ -83,6 +83,19 @@ type Config struct {
 	// single-cycle regardless. DefaultConfig enables it.
 	FastForward bool
 
+	// ReplayMemo enables the replay-splice cache: at each page-fault
+	// boundary inside Run, the core fingerprints the machine state a
+	// transient window can depend on and, on a match with a previously
+	// recorded window, splices its memoized outcome (cycles, trace
+	// events, stats, cache/TLB/predictor mutations) instead of
+	// re-simulating it. Fault handlers always run live, so replay
+	// counting and PTE manipulation stay exact; see sim/cpu/memo.go for
+	// the fingerprint and invalidation model. Traces, stats and final
+	// state are bit-identical with the flag off (proved by the memo
+	// differential tests). DefaultConfig enables it; zero-value Configs
+	// leave it off.
+	ReplayMemo bool
+
 	// JitterPeriod/JitterExtra inject deterministic timing noise: every
 	// JitterPeriod-th executed instruction takes JitterExtra additional
 	// cycles (DRAM refresh, prefetcher interference, SMIs, ...). Zero
@@ -118,6 +131,7 @@ func DefaultConfig() Config {
 		BranchPredictorBits: 10,
 		RandSeed:            0x5ca1ab1e,
 		FastForward:         true,
+		ReplayMemo:          true,
 		Hierarchy:           cache.DefaultHierarchyConfig(),
 	}
 }

@@ -95,6 +95,15 @@ type Context struct {
 	// share of hot-loop allocations.
 	doneScratch []*pipeline.Entry
 
+	// sched is the event-driven scheduler state (ready lists, completion
+	// heap, waiter links) derived from the ROB; see sched.go.
+	sched schedState
+
+	// progEpoch counts program (re)loads. The replay memo folds it into
+	// window fingerprints so records never survive a program swap that
+	// happens to reuse the same PCs.
+	progEpoch uint64
+
 	stats ContextStats
 }
 
@@ -153,6 +162,7 @@ func (ctx *Context) load(p *isa.Program, entry int) {
 		ctx.core.nHalted--
 	}
 	ctx.prog = p
+	ctx.progEpoch++
 	ctx.fetchPC = entry
 	ctx.fetchHalted = false
 	ctx.halted = false
@@ -257,8 +267,8 @@ func (ctx *Context) isFenceActing(op isa.Op) bool {
 	return op == isa.OpFence || (op == isa.OpRdrand && ctx.core.cfg.FencedRdrand)
 }
 
-// recount recomputes the derived ROB counters and next-event state after
-// a squash.
+// recount recomputes the derived ROB counters, next-event state and the
+// scheduler's wakeup structures after a squash (or snapshot restore).
 func (ctx *Context) recount() {
 	ctx.nDispatched, ctx.nIssued, ctx.nFences = 0, 0, 0
 	ctx.nextCompleteAt = neverCycle
@@ -276,5 +286,6 @@ func (ctx *Context) recount() {
 			ctx.nFences++
 		}
 	}
+	ctx.schedRebuild()
 	ctx.wakeIssue()
 }

@@ -161,6 +161,15 @@ type Core struct {
 	// *which* draws two diverging runs disagreed on.
 	rdrandDraws uint64
 	rdrandLog   []uint64
+
+	// Replay-splice memo state (see memo.go). inRun and runBudgetEnd gate
+	// splicing to Run's interior, where the caller observes nothing
+	// between steps; memoSuspend disables the memo during RunUntil, whose
+	// per-step condition a splice would jump over.
+	memo         memoState
+	inRun        bool
+	runBudgetEnd uint64
+	memoSuspend  int
 }
 
 // NewCore builds a core over the given physical memory.
@@ -175,13 +184,16 @@ func NewCore(cfg Config, phys *mem.PhysMem) *Core {
 		rngState: cfg.RandSeed | 1,
 	}
 	for i := 0; i < cfg.Contexts; i++ {
-		c.contexts = append(c.contexts, &Context{
+		ctx := &Context{
 			id:   i,
 			core: c,
 			rob:  pipeline.NewROB(cfg.ROBSize),
 			bp:   pipeline.NewPredictor(cfg.BranchPredictorBits),
-		})
+		}
+		ctx.sched.init(cfg.ROBSize)
+		c.contexts = append(c.contexts, ctx)
 	}
+	c.memoInit()
 	return c
 }
 
@@ -215,12 +227,20 @@ func (c *Core) Ports() *pipeline.PortSet { return &c.ports }
 // SetFaultHandler installs the page-fault handler.
 func (c *Core) SetFaultHandler(h FaultHandler) { c.faultHandler = h }
 
-// SetTracer attaches a pipeline tracer (nil detaches).
-func (c *Core) SetTracer(t Tracer) { c.tracer = t }
+// SetTracer attaches a pipeline tracer (nil detaches). Changing the
+// observation regime flushes the replay memo: records made without a
+// tracer carry no events to replay, and vice versa.
+func (c *Core) SetTracer(t Tracer) {
+	c.MemoFlush()
+	c.tracer = t
+}
 
 func (c *Core) trace(ev Event) {
 	if c.tracer != nil {
 		ev.Cycle = c.cycle
+		if r := c.memo.rec; r != nil {
+			r.events = append(r.events, ev)
+		}
 		c.tracer.Trace(ev)
 	}
 }
@@ -245,6 +265,9 @@ func (c *Core) rdrand() uint64 {
 	c.rdrandDraws++
 	if len(c.rdrandLog) < rdrandLogCap {
 		c.rdrandLog = append(c.rdrandLog, v)
+	}
+	if r := c.memo.rec; r != nil {
+		r.rdrandVals = append(r.rdrandVals, v)
 	}
 	return v
 }
@@ -289,9 +312,18 @@ func (c *Core) Step() {
 }
 
 // Run steps until all contexts halt or maxCycles elapse, returning the
-// number of cycles advanced (stepped or fast-forwarded).
+// number of cycles advanced (stepped, fast-forwarded or memo-spliced).
 func (c *Core) Run(maxCycles uint64) uint64 {
 	start := c.cycle
+	c.inRun = true
+	c.runBudgetEnd = start + maxCycles
+	if c.runBudgetEnd < start {
+		c.runBudgetEnd = neverCycle // saturate on overflow
+	}
+	defer func() {
+		c.inRun = false
+		c.memoAbortRecording() // a window never spans Run calls
+	}()
 	for !c.Halted() && c.cycle-start < maxCycles {
 		c.fastForward(start, maxCycles)
 		if c.cycle-start >= maxCycles {
@@ -309,6 +341,8 @@ func (c *Core) Run(maxCycles uint64) uint64 {
 // same sequence of values; a cond keyed directly off Cycle() should run
 // with fast-forward disabled).
 func (c *Core) RunUntil(cond func() bool, maxCycles uint64) bool {
+	c.memoSuspend++ // a splice would jump over cond evaluations
+	defer func() { c.memoSuspend-- }()
 	start := c.cycle
 	for c.cycle-start < maxCycles {
 		if cond() {
@@ -447,30 +481,47 @@ func (c *Core) complete() {
 		if c.cycle < ctx.nextCompleteAt {
 			continue
 		}
-		// Collect first: branch redirects mutate the ROB mid-walk. The
-		// batch lives in a per-context scratch slice — allocating it
-		// fresh every cycle was a top hot-loop allocation. While
-		// collecting, recompute the earliest still-pending completion.
+		// Pop the due completions off the heap (dropping stale nodes a
+		// mid-batch rebuild orphaned). The batch lives in a per-context
+		// scratch slice — allocating it fresh every cycle was a top
+		// hot-loop allocation.
+		s := &ctx.sched
 		done := ctx.doneScratch[:0]
-		nextAt := uint64(neverCycle)
-		for _, e := range ctx.rob.Entries() {
-			if e.State != pipeline.StateIssued {
+		for len(s.heap) > 0 {
+			top := s.heap[0]
+			e := ctx.rob.BySlot(top.slot)
+			if e.State != pipeline.StateIssued || e.Seq != top.seq {
+				s.heapPop() // stale
 				continue
 			}
-			if e.CompleteAt <= c.cycle {
-				done = append(done, e)
-			} else if e.CompleteAt < nextAt {
-				nextAt = e.CompleteAt
+			if top.at > c.cycle {
+				break
 			}
+			s.heapPop()
+			done = append(done, e)
 		}
 		ctx.doneScratch = done
-		// A mid-batch squash may remove pending issued entries; recount
-		// then recomputes nextCompleteAt exactly, and nextAt (a superset
-		// minimum) can only be early, never late — so this stays a sound
-		// lower bound either way.
-		ctx.nextCompleteAt = nextAt
+		// The clean heap minimum is the exact earliest still-pending
+		// completion. A mid-batch squash may remove pending issued
+		// entries; recount then recomputes nextCompleteAt exactly, and
+		// this (a superset minimum) can only be early, never late — so it
+		// stays a sound lower bound either way.
+		if len(s.heap) > 0 {
+			ctx.nextCompleteAt = s.heap[0].at
+		} else {
+			ctx.nextCompleteAt = neverCycle
+		}
 		if len(done) > 0 {
 			ctx.wakeIssue() // completions can make consumers issuable
+		}
+		// Process in seq (program) order, as the ROB walk did. The heap
+		// yields (at, seq) order, which is seq order whenever the due set
+		// shares one completion cycle — the insertion sort is insurance
+		// for restored images with already-overdue completions.
+		for i := 1; i < len(done); i++ {
+			for j := i; j > 0 && done[j-1].Seq > done[j].Seq; j-- {
+				done[j-1], done[j] = done[j], done[j-1]
+			}
 		}
 		for _, e := range done {
 			if e.State != pipeline.StateIssued {
@@ -487,6 +538,10 @@ func (c *Core) complete() {
 				e.State = pipeline.StateFaulted
 			} else {
 				e.State = pipeline.StateCompleted
+				// Wake consumers now: a later squash in this same batch
+				// rebuilds from the captured flags, and a completed
+				// producer never broadcasts again.
+				ctx.broadcast(e)
 			}
 			if c.tracer != nil {
 				c.trace(Event{Context: ctx.id, Kind: EvComplete, PC: e.PC, Seq: e.Seq,
@@ -586,6 +641,12 @@ func (c *Core) retire() {
 
 // commit applies the architectural effects of a completed instruction.
 func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
+	// A replay window never retires anything (fetch resumes at the
+	// faulting PC and the head re-faults); any retirement means this is
+	// not a pure transient window, so the recording cannot be reused.
+	if c.memo.rec != nil {
+		c.memoAbortRecording()
+	}
 	e.State = pipeline.StateRetired
 	ctx.serialize = false // first post-flush retirement lifts the fence
 	ctx.stats.Retired++
@@ -729,14 +790,48 @@ func (c *Core) AbortTx(ctxID int, reason string) bool {
 // deliverFault implements precise exception delivery: squash everything,
 // run the (simulated) OS handler, stall for its latency, and resume at the
 // faulting instruction.
+//
+// The loop below is the replay memo's splice point. Each fault boundary
+// first closes any window being recorded (memoWindowEnd), then runs the
+// handler live. If the memo holds a record whose fingerprint matches the
+// post-handler state, the entire transient window up to the *next* fault
+// is spliced in and the loop continues with that fault — replaying
+// thousands of MicroScope replay iterations without simulating them.
 func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 	// A fault inside a transaction aborts the transaction instead of
 	// trapping to the OS — the TSX behaviour T-SGX builds on (§8).
 	if ctx.inTx {
+		c.memoAbortRecording()
 		c.abortTx(ctx, fmt.Sprintf("page fault in tx at pc=%d", e.PC))
 		return
 	}
 
+	pf := c.faultPre(ctx, e)
+	c.memoWindowEnd(ctx, pf)
+	for {
+		if c.faultHandler == nil {
+			c.ctxHalt(ctx)
+			return
+		}
+		out := c.faultHandler.HandlePageFault(pf)
+		if out.Terminate {
+			c.ctxHalt(ctx)
+			return
+		}
+		ctx.stallUntil = c.cycle + out.HandlerLatency
+		ctx.stats.StallCycles += out.HandlerLatency
+		next, spliced := c.memoResume(ctx, pf)
+		if !spliced {
+			return
+		}
+		pf = next
+	}
+}
+
+// faultPre applies the engine-side effects of fault delivery (squash,
+// fetch redirect, fault event) and builds the PageFault, leaving only
+// the handler call to the caller.
+func (c *Core) faultPre(ctx *Context, e *pipeline.Entry) PageFault {
 	ctx.stats.PageFaults++
 	ctx.squashAll()
 	ctx.fetchPC = e.PC
@@ -758,18 +853,7 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 	}
 	c.trace(Event{Context: ctx.id, Kind: EvFault, PC: e.PC, Seq: e.Seq, Instr: e.Instr,
 		Walk: e.WalkCycles, Addr: f.VA, Detail: f.Error()})
-
-	if c.faultHandler == nil {
-		c.ctxHalt(ctx)
-		return
-	}
-	out := c.faultHandler.HandlePageFault(pf)
-	if out.Terminate {
-		c.ctxHalt(ctx)
-		return
-	}
-	ctx.stallUntil = c.cycle + out.HandlerLatency
-	ctx.stats.StallCycles += out.HandlerLatency
+	return pf
 }
 
 // ---------------------------------------------------------------------
@@ -778,67 +862,197 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 
 func (c *Core) issue() {
 	budget := c.cfg.IssueWidth
-	// Alternate context priority cycle by cycle for SMT fairness.
-	first := int(c.cycle) % len(c.contexts)
-	for i := range c.contexts {
-		ctx := c.contexts[(first+i)%len(c.contexts)]
+	// Alternate context priority cycle by cycle for SMT fairness. The
+	// rotation wraps by compare, not modulo: the divide showed up in
+	// profiles at two-digit percent on port-contention workloads.
+	n := len(c.contexts)
+	idx := int(c.cycle % uint64(n))
+	for i := 0; i < n; i++ {
+		ctx := c.contexts[idx]
+		if idx++; idx == n {
+			idx = 0
+		}
 		if budget == 0 {
 			break
 		}
 		if ctx.Stalled(c.cycle) || ctx.nDispatched == 0 {
 			continue
 		}
-		// Quiesced: the last full scan proved nothing becomes issuable
+		// Quiesced: the last full pass proved nothing becomes issuable
 		// before issueSleepUntil without an intervening wakeIssue event
-		// (completion, retirement, dispatch, squash). Skip the O(ROB)
-		// scan — with a full ROB blocked behind the non-pipelined
-		// divider, this is the hottest loop in the simulator.
+		// (completion, retirement, dispatch, squash).
 		if c.cycle < ctx.issueSleepUntil {
 			continue
 		}
-		retryAt := uint64(neverCycle)
-		for _, e := range ctx.rob.Entries() {
-			if budget == 0 || ctx.nDispatched == 0 {
-				break
-			}
-			if e.State != pipeline.StateDispatched || !e.OperandsReady() {
+		budget = c.issueCtx(ctx, budget)
+	}
+}
+
+// issueCtx runs one context's issue pass: an in-seq-order merge of the
+// per-class ready lists, visiting only entries whose operands are
+// captured, instead of the ROB scan it replaces — with a full ROB
+// blocked behind the non-pipelined divider, that scan was the hottest
+// loop in the simulator. The selection order (and so the port-claim
+// order, timing and trace) is identical: the old scan visited ready
+// entries in ROB order, which is seq order, and a structural failure is
+// class-uniform with no side effects, so parking a failed class skips
+// only attempts that were guaranteed to fail identically. It returns the
+// remaining issue budget.
+func (c *Core) issueCtx(ctx *Context, budget int) int {
+	s := &ctx.sched
+	startGen := s.gen
+	// The RDTSC head-wait queue merges as a pseudo-class: only its front
+	// can be at the ROB head, and the head cannot change mid-pass (PopHead
+	// runs at retirement, squashes bump gen), so one failed headness check
+	// parks the queue for the rest of the pass. A parked non-head front
+	// contributes nothing to retryAt — retirement wakes it via wakeIssue —
+	// exactly like the skip the old per-entry check performed.
+	const qCls = int(pipeline.NumPortClasses)
+	var cur [pipeline.NumPortClasses]int
+	var blocked [pipeline.NumPortClasses + 1]bool
+	curQ := 0
+	retryAt := uint64(neverCycle)
+	for budget > 0 && ctx.nDispatched > 0 {
+		// Find the oldest valid ready head among the unparked classes.
+		best := -1
+		bestSeq := uint64(neverCycle)
+		for cls := range s.ready {
+			if blocked[cls] {
 				continue
 			}
-			if ok, at := c.tryIssueEntry(ctx, e); ok {
-				budget--
-			} else if at < retryAt {
+			list := s.ready[cls]
+			j := cur[cls]
+			for j < len(list) {
+				re := ctx.rob.BySlot(list[j].slot)
+				if re.Seq == list[j].seq && re.State == pipeline.StateDispatched {
+					break
+				}
+				j++ // stale: issued earlier, or the slot was recycled
+			}
+			cur[cls] = j
+			if j < len(list) && list[j].seq < bestSeq {
+				best, bestSeq = cls, list[j].seq
+			}
+		}
+		if !blocked[qCls] {
+			q := s.rdtscQ
+			j := curQ
+			for j < len(q) {
+				re := ctx.rob.BySlot(q[j].slot)
+				if re.Seq == q[j].seq && re.State == pipeline.StateDispatched {
+					break
+				}
+				j++
+			}
+			curQ = j
+			if j < len(q) {
+				if ctx.rob.Head() != ctx.rob.BySlot(q[j].slot) {
+					blocked[qCls] = true
+				} else if q[j].seq < bestSeq {
+					best, bestSeq = qCls, q[j].seq
+				}
+			}
+		}
+		if best < 0 {
+			break // full coverage: nothing ready outside parked classes
+		}
+		var e *pipeline.Entry
+		if best == qCls {
+			e = ctx.rob.BySlot(s.rdtscQ[curQ].slot)
+		} else {
+			e = ctx.rob.BySlot(s.ready[best][cur[best]].slot)
+		}
+		if ok, at := c.tryIssueEntry(ctx, e); ok {
+			budget--
+			if best == qCls {
+				curQ++
+			} else {
+				cur[best]++
+			}
+			if s.gen != startGen {
+				// Mid-pass squash (memory-order violation): the ready
+				// lists were rebuilt and everything younger is gone;
+				// every older ready entry was already tried, so the pass
+				// is complete. The sleep rule below still applies — the
+				// squash redirected fetch, and the resulting dispatch
+				// wakes the scan again, so overwriting recount's wake is
+				// sound (same argument as the old scan).
+				break
+			}
+		} else {
+			blocked[best] = true
+			if at < retryAt {
 				retryAt = at
 			}
 		}
-		if budget == 0 && ctx.nDispatched > 0 {
-			// Scan may have stopped early: rescan next cycle.
-			ctx.issueSleepUntil = c.cycle + 1
-		} else {
-			// Full coverage: every still-dispatched entry is either
-			// port-blocked until retryAt or waiting on an event that
-			// fires wakeIssue. (A mid-scan squash sets issueSleepUntil
-			// to zero via recount, but the squash also redirects fetch,
-			// and the resulting dispatch wakes the scan again — so
-			// overwriting here is sound.)
-			ctx.issueSleepUntil = retryAt
+	}
+	if budget == 0 && ctx.nDispatched > 0 {
+		// Pass may have stopped early: rescan next cycle.
+		ctx.issueSleepUntil = c.cycle + 1
+	} else {
+		// Full coverage: every still-dispatched entry is either
+		// port-blocked until retryAt or waiting on an event that fires
+		// wakeIssue.
+		ctx.issueSleepUntil = retryAt
+	}
+	// Drop consumed refs from the list fronts so they are not re-skipped
+	// on every later pass.
+	// Compaction copies down in place rather than re-slicing, which would
+	// bleed capacity off the front and feed every later append through
+	// the allocator.
+	for cls := range s.ready {
+		list := s.ready[cls]
+		j := 0
+		for j < len(list) {
+			re := ctx.rob.BySlot(list[j].slot)
+			if re.Seq == list[j].seq && re.State == pipeline.StateDispatched {
+				break
+			}
+			j++
+		}
+		if j > 0 {
+			s.ready[cls] = list[:copy(list, list[j:])]
 		}
 	}
+	{
+		q := s.rdtscQ
+		j := 0
+		for j < len(q) {
+			re := ctx.rob.BySlot(q[j].slot)
+			if re.Seq == q[j].seq && re.State == pipeline.StateDispatched {
+				break
+			}
+			j++
+		}
+		if j > 0 {
+			s.rdtscQ = q[:copy(q, q[j:])]
+		}
+	}
+	return budget
 }
 
 // occupancyOf returns, without side effects, the functional-unit occupancy
 // of e. Only the (non-pipelined) divider uses it, so it is exact for div
-// ops and irrelevant elsewhere.
-func (c *Core) occupancyOf(e *pipeline.Entry) uint64 {
+// ops and irrelevant elsewhere. The FDiv subnormal classification is
+// cached per dynamic instruction: operands are final once captured, and
+// a ready divide blocked on the busy divider retries many times.
+func (c *Core) occupancyOf(ctx *Context, e *pipeline.Entry) uint64 {
 	switch e.Instr.Op {
 	case isa.OpDiv:
 		return uint64(c.cfg.DivLat)
 	case isa.OpFDiv:
+		s := &ctx.sched
+		if s.occSeq[e.Slot] == e.Seq {
+			return s.occVal[e.Slot]
+		}
 		lat := c.cfg.FDivLat
 		fa := math.Float64frombits(e.Src[0].Value)
 		fb := math.Float64frombits(e.Src[1].Value)
 		if isSubnormal(fa) || isSubnormal(fb) || isSubnormal(fa/fb) {
 			lat += c.cfg.SubnormalPenalty
 		}
+		s.occSeq[e.Slot] = e.Seq
+		s.occVal[e.Slot] = uint64(lat)
 		return uint64(lat)
 	default:
 		return 1
@@ -880,7 +1094,7 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 		}
 	}
 
-	port, ok := c.ports.TryIssue(op, c.occupancyOf(e))
+	port, ok := c.ports.TryIssue(op, c.occupancyOf(ctx, e))
 	if !ok {
 		// Structural hazard (e.g. divider busy: contention).
 		return false, c.ports.RetryAt(op)
@@ -893,6 +1107,7 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	if e.CompleteAt < ctx.nextCompleteAt {
 		ctx.nextCompleteAt = e.CompleteAt
 	}
+	ctx.sched.heapPush(compNode{at: e.CompleteAt, seq: e.Seq, slot: e.Slot})
 	e.Result = result
 	e.Fault = fault
 	e.EffAddr = effAddr
@@ -936,6 +1151,11 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 // architectural effects happen at commit. forward, when non-nil, is the
 // store-buffer entry a load forwards its data from.
 func (c *Core) execute(ctx *Context, e *pipeline.Entry, forward *pipeline.Entry) (lat int, result uint64, fault error, effAddr, physAddr mem.Addr, walkCycles int) {
+	if r := c.memo.rec; r != nil && ctx == r.ctx {
+		// Track absolute-timestamp taint for the window being recorded
+		// (may abort the recording; never changes execution).
+		c.memoTaintExec(r, e, forward)
+	}
 	in := e.Instr
 	a, b := e.Src[0].Value, e.Src[1].Value
 	lat = c.cfg.ALULat
@@ -1130,16 +1350,19 @@ func (c *Core) fetch() {
 	}
 }
 
-// dispatch creates and enqueues a ROB entry for in at pc.
+// dispatch allocates and enqueues a ROB entry for in at pc, capturing
+// operand values eagerly: from the register file, or from a producer
+// whose result is already final; operands still in flight are linked
+// into the producer's waiter list for capture at its completion
+// broadcast.
 func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 	c.seq++
-	e := &pipeline.Entry{
-		Seq:     c.seq,
-		PC:      pc,
-		Instr:   in,
-		State:   pipeline.StateDispatched,
-		Context: ctx.id,
-	}
+	e := ctx.rob.Alloc()
+	e.Seq = c.seq
+	e.PC = pc
+	e.Instr = in
+	e.State = pipeline.StateDispatched
+	e.Context = ctx.id
 	srcs := in.Sources()
 	for i, r := range srcs {
 		if r == isa.NoReg {
@@ -1147,7 +1370,20 @@ func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 			continue
 		}
 		if prod := ctx.rat[r]; prod != nil {
-			e.Src[i] = pipeline.Operand{Producer: prod}
+			if prod.State == pipeline.StateCompleted {
+				// The producer's result is final; capture now, keeping the
+				// link as provenance. (An issued-but-incomplete producer's
+				// result exists too, but capturing it here would make the
+				// consumer issuable before the completion broadcast —
+				// operand readiness must track completion, as the ROB walk
+				// this replaces did.)
+				e.Src[i] = pipeline.Operand{Ready: true, Value: prod.Result, Producer: prod}
+				if c.shadow != nil {
+					e.PendShadow[i] = prod.Shadow
+				}
+			} else {
+				e.Src[i] = pipeline.Operand{Producer: prod}
+			}
 		} else {
 			e.Src[i] = pipeline.Operand{Ready: true, Value: ctx.regs[r]}
 		}
@@ -1157,6 +1393,7 @@ func (c *Core) dispatch(ctx *Context, in isa.Instr, pc int) *pipeline.Entry {
 	}
 	ctx.rob.Push(e)
 	ctx.nDispatched++
+	ctx.schedDispatch(e)
 	if c.shadow != nil {
 		c.shadow.ShadowDispatch(ctx, e)
 	}

@@ -1,0 +1,813 @@
+package cpu
+
+import (
+	"microscope/sim/cache"
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+	"microscope/sim/pipeline"
+	"microscope/sim/tlb"
+)
+
+// The replay splice cache ("memo"): MicroScope's whole point is that the
+// victim's transient window re-executes essentially unchanged thousands
+// of times per replay handle. The memo exploits that from inside the
+// simulator: at each fault delivery it fingerprints the machine state a
+// window's behaviour can depend on; when a later delivery at the same
+// site matches a recorded fingerprint, the engine splices the memoized
+// outcome — cycle/seq advances, trace events, statistic increments,
+// cache/TLB/PWC/predictor mutations, physical-memory writes — instead of
+// re-simulating the window instruction by instruction.
+//
+// A window runs from the moment one fault's handler outcome has been
+// applied (stall set, pipeline already squashed by delivery) to the
+// moment the *next* fault at its head has squashed the pipeline and
+// built its PageFault — i.e. right before the handler call. The handler
+// itself always runs live, so the MicroScope module's replay counting,
+// MaxReplays termination and PTE flips stay exact; its mutations become
+// window *inputs* seen by the next probe.
+//
+// Soundness rests on four pillars:
+//
+//  1. Nothing retires inside a window (fetch resumes at the faulting PC
+//     and the head re-faults), so architectural register state is
+//     invariant; any retirement aborts the recording (commit hook).
+//  2. Every input is fingerprinted. Fixed inputs (registers, fetch PC,
+//     relative stall, RNG state, jitter phase, SMT rotation phase, port
+//     occupancy, address-space root) fold eagerly; microarchitectural
+//     inputs fold lazily in first-touch order via recording hooks on the
+//     caches, TLBs, PWC, predictor and physical memory. LRU state is
+//     hashed as ranks, not clock values (see sim/cache/memo.go).
+//  3. Handler-side mutations between windows (PTE flips, flushes,
+//     WarmTo) naturally change the fingerprint inputs, so stale records
+//     miss instead of lying. Reconfiguration that changes timing itself
+//     (UpdateTiming, tracer/shadow attach, snapshot restore) flushes the
+//     memo wholesale.
+//  4. In-window RDTSC results are absolute cycle values, so a recorded
+//     window is only replayable at a different cycle base if those
+//     values influence behaviour exclusively through differences. A
+//     micro taint tracker follows timestamp absoluteness through the
+//     window (SUB of two absolutes yields a translation-invariant
+//     delta) and aborts the recording if an absolute value escapes into
+//     an address, a mixed branch compare, or a value-dependent-latency
+//     FDiv.
+type memoState struct {
+	enabled bool
+	records map[memoSite][]*memoRecord
+	nRec    int
+	rec     *memoRecording
+	stats   MemoStats
+
+	// Structure tables and prebound hook closures (built once in
+	// NewCore so recording start/stop never allocates closures).
+	caches     [4]*cache.Cache
+	tlbs       [3]*tlb.TLB
+	cacheTouch [4]func(set int)
+	tlbTouch   [3]func(set int)
+	pwcTouch   func()
+	bpTouch    func(idx int)
+	invalHook  func()
+	physRead   func(pa mem.Addr)
+	physWrite  func(pa mem.Addr)
+
+	taintBuf []bool // per-slot scratch, reused across recordings
+}
+
+// MemoStats counts replay-memo outcomes.
+type MemoStats struct {
+	Hits          uint64 // windows spliced from a record
+	Misses        uint64 // fault boundaries with no matching record
+	Invalidations uint64 // records dropped by flushes and evictions
+	SplicedCycles uint64 // simulated cycles covered by splices
+}
+
+// MemoStats returns the replay-memo counters.
+func (c *Core) MemoStats() MemoStats { return c.memo.stats }
+
+// memoSite keys records by the fault that opens a window. The program
+// epoch in the fingerprint pins the instruction identity, so the site
+// needs only the fault coordinates.
+type memoSite struct {
+	ctx   int
+	pc    int
+	va    mem.Addr
+	level mem.Level
+	write bool
+}
+
+// Probe-op kinds: the recorded first-touch order of lazily fingerprinted
+// inputs, replayed at probe time to recompute the digest from current
+// state.
+const (
+	opCacheSet = iota // a = hierarchy level 0..3, b = set
+	opTLBSet          // a = TLB index 0..2, b = set
+	opPWC             // whole structure
+	opBP              // a = predictor table index
+	opPhys            // addr = physical word address
+)
+
+type probeOp struct {
+	kind uint8
+	a    int32
+	b    int32
+	addr uint64
+}
+
+type structAgg struct{ clock, hits, misses uint64 }
+
+type cacheSetEff struct {
+	level int32
+	set   int32
+	img   []cache.LineImage
+}
+
+type tlbSetEff struct {
+	tlb int32
+	set int32
+	img []tlb.WayImage
+}
+
+type bpEff struct {
+	idx int
+	img pipeline.BPImage
+}
+
+type physWriteEff struct {
+	addr uint64
+	val  uint64
+}
+
+// memoRecord is one memoized window: the fingerprint that gates it and
+// the complete effect set that replays it.
+type memoRecord struct {
+	digest uint64
+	ops    []probeOp
+
+	dCycle, dSeq, dSkipped uint64
+	ctxStats               []ContextStats // per-context deltas
+
+	// Trace events with Cycle/Seq stored as offsets from the window
+	// start (Seq 0 = the event carried no sequence number).
+	events []Event
+
+	cacheSets []cacheSetEff
+	cacheAgg  [4]structAgg
+	tlbSets   []tlbSetEff
+	tlbAgg    [3]structAgg
+	pwcImg    []cache.PWCImage
+	pwcSeen   bool
+	pwcAgg    structAgg
+	bpIdxs    []bpEff
+	dBPLook   uint64
+	dBPMis    uint64
+
+	physWrites []physWriteEff
+
+	rngEnd     uint64
+	dRdrand    uint64
+	rdrandVals []uint64
+	dJitter    uint64
+
+	portsIssued [pipeline.NumPorts]bool
+	divRelEnd   uint64 // divBusyUntil - endCycle when busy, else 0
+	dDivBusy    uint64
+
+	endFetchPC   int
+	endSerialize bool
+	endPF        PageFault // the fault that closes the window
+}
+
+// memoRecording is an in-progress window capture.
+type memoRecording struct {
+	site   memoSite
+	ctx    *Context
+	digest uint64
+	ops    []probeOp
+
+	startCycle, startSeq, startSkipped uint64
+	startStats                         []ContextStats
+	startDraws, startJitter            uint64
+	startCacheClock                    [4]uint64
+	startCacheHits, startCacheMiss     [4]uint64
+	startTLBClock                      [3]uint64
+	startTLBHits, startTLBMiss         [3]uint64
+	startPWCClock                      uint64
+	startPWCHits, startPWCMiss         uint64
+	startBPLook, startBPMis            uint64
+	startDivBusy                       uint64
+
+	cacheSeen   [4]map[int]struct{}
+	tlbSeen     [3]map[int]struct{}
+	pwcSeen     bool
+	bpSeen      map[int]struct{}
+	physReadSet map[uint64]struct{}
+	physWritten map[uint64]struct{}
+	physOrder   []uint64
+
+	events     []Event
+	rdrandVals []uint64
+	taint      []bool // by ROB slot: value depends on the absolute cycle base
+}
+
+const (
+	memoSiteCap   = 4    // records retained per site (FIFO)
+	memoGlobalCap = 4096 // records retained in total; overflow flushes
+)
+
+// memoInit wires the structure tables and prebinds the hook closures.
+// Called from NewCore.
+func (c *Core) memoInit() {
+	m := &c.memo
+	m.enabled = c.cfg.ReplayMemo
+	m.caches = [4]*cache.Cache{c.hier.L1D(), c.hier.L1I(), c.hier.L2(), c.hier.L3()}
+	m.tlbs = [3]*tlb.TLB{c.tlbs.L1D, c.tlbs.L1I, c.tlbs.L2}
+	for i := range m.cacheTouch {
+		lvl := i
+		m.cacheTouch[i] = func(set int) { c.memoTouchCache(lvl, set) }
+	}
+	for i := range m.tlbTouch {
+		ti := i
+		m.tlbTouch[i] = func(set int) { c.memoTouchTLB(ti, set) }
+	}
+	m.pwcTouch = func() { c.memoTouchPWC() }
+	m.bpTouch = func(idx int) { c.memoTouchBP(idx) }
+	m.invalHook = func() { c.memoAbortRecording() }
+	m.physRead = func(pa mem.Addr) { c.memoPhysRead(pa) }
+	m.physWrite = func(pa mem.Addr) { c.memoPhysWrite(pa) }
+	m.taintBuf = make([]bool, c.cfg.ROBSize)
+}
+
+// memoFold mixes v into the running FNV-1a hash h.
+func memoFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+const memoFNVOffset = 14695981039346656037
+
+// memoFixedDigest folds the window inputs that are known eagerly at the
+// boundary. Everything cycle-valued folds relative to the current cycle;
+// the SMT rotation phase and jitter phase capture the only modular
+// dependence on the absolute cycle and instruction counts.
+func (c *Core) memoFixedDigest(ctx *Context) uint64 {
+	h := uint64(memoFNVOffset)
+	for _, r := range ctx.regs {
+		h = memoFold(h, r)
+	}
+	h = memoFold(h, uint64(uint(ctx.fetchPC)))
+	flags := uint64(0)
+	if ctx.serialize {
+		flags |= 1
+	}
+	if ctx.fetchHalted {
+		flags |= 2
+	}
+	h = memoFold(h, flags)
+	h = memoFold(h, ctx.stallUntil-c.cycle)
+	h = memoFold(h, c.rngState)
+	if c.cfg.JitterPeriod > 0 {
+		h = memoFold(h, c.jitterCount%uint64(c.cfg.JitterPeriod))
+	}
+	h = memoFold(h, c.cycle%uint64(len(c.contexts)))
+	h = memoFold(h, ctx.progEpoch)
+	h = memoFold(h, ctx.as.Root())
+	h = memoFold(h, uint64(ctx.as.PCID()))
+	ps := c.ports.Snapshot()
+	div := uint64(0)
+	if ps.DivBusyUntil > c.cycle {
+		div = ps.DivBusyUntil - c.cycle
+	}
+	h = memoFold(h, div)
+	issued := uint64(0)
+	for i := range ps.IssuedThis {
+		if ps.IssuedThis[i] {
+			issued |= 1 << i
+		}
+	}
+	h = memoFold(h, issued)
+	return h
+}
+
+// memoSolo reports whether every other context is inert: no program, or
+// halted with nothing in flight. (A halted context still completes
+// issued work and accrues fast-forward statistics, which the record's
+// per-context stat deltas cover; live pipeline activity does not.)
+func (c *Core) memoSolo(ctx *Context) bool {
+	for _, o := range c.contexts {
+		if o == ctx || o.prog == nil {
+			continue
+		}
+		if !o.halted || o.rob.Len() > 0 || o.nIssued > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// memoUsable gates all memo activity at a fault boundary. RunUntil
+// suspends the memo (a splice would jump over the caller's per-step
+// condition checks); an attached shadow tracker disables it (shadow
+// state is not captured in records).
+func (c *Core) memoUsable(ctx *Context) bool {
+	m := &c.memo
+	return m.enabled && c.inRun && c.memoSuspend == 0 && c.shadow == nil &&
+		!ctx.inTx && ctx.as != nil && c.memoSolo(ctx)
+}
+
+// memoResume runs at a fault boundary after the handler outcome has been
+// applied: splice a matching record (returning the fault that closes the
+// spliced window, so deliverFault's loop can run its handler), or start
+// recording the window that begins here.
+func (c *Core) memoResume(ctx *Context, pf PageFault) (PageFault, bool) {
+	if !c.memoUsable(ctx) {
+		return PageFault{}, false
+	}
+	site := memoSite{ctx: ctx.id, pc: pf.PC, va: pf.VA, level: pf.Level, write: pf.Write}
+	for _, rec := range c.memo.records[site] {
+		// Never splice past the Run budget: the live engine would have
+		// stopped mid-window, a state no record can reproduce.
+		if c.runBudgetEnd-c.cycle < rec.dCycle {
+			continue
+		}
+		if c.memoProbe(rec, ctx) {
+			c.memoSplice(rec, ctx)
+			return rec.endPF, true
+		}
+	}
+	c.memo.stats.Misses++
+	c.memoRecordStart(ctx, site)
+	return PageFault{}, false
+}
+
+// memoProbe recomputes a record's digest from current state, following
+// the recorded first-touch order.
+func (c *Core) memoProbe(rec *memoRecord, ctx *Context) bool {
+	m := &c.memo
+	h := c.memoFixedDigest(ctx)
+	for i := range rec.ops {
+		op := &rec.ops[i]
+		switch op.kind {
+		case opCacheSet:
+			h = m.caches[op.a].MemoHashSet(int(op.b), h)
+		case opTLBSet:
+			h = m.tlbs[op.a].MemoHashSet(int(op.b), h)
+		case opPWC:
+			h = c.pwc.MemoHash(h)
+		case opBP:
+			h = ctx.bp.MemoHashIdx(int(op.a), h)
+		case opPhys:
+			h = memoFold(h, c.phys.Peek64(op.addr))
+		}
+	}
+	return h == rec.digest
+}
+
+// --- recording --------------------------------------------------------
+
+func (c *Core) memoRecordStart(ctx *Context, site memoSite) {
+	m := &c.memo
+	if m.rec != nil {
+		c.memoAbortRecording()
+	}
+	r := &memoRecording{
+		site:         site,
+		ctx:          ctx,
+		digest:       c.memoFixedDigest(ctx),
+		startCycle:   c.cycle,
+		startSeq:     c.seq,
+		startSkipped: c.skipped,
+		startDraws:   c.rdrandDraws,
+		startJitter:  c.jitterCount,
+		bpSeen:       make(map[int]struct{}),
+		physReadSet:  make(map[uint64]struct{}),
+		physWritten:  make(map[uint64]struct{}),
+		taint:        m.taintBuf,
+	}
+	clear(r.taint)
+	r.startStats = make([]ContextStats, len(c.contexts))
+	for i, o := range c.contexts {
+		r.startStats[i] = o.stats
+	}
+	for i, ca := range m.caches {
+		r.cacheSeen[i] = make(map[int]struct{})
+		r.startCacheClock[i] = ca.MemoClock()
+		r.startCacheHits[i], r.startCacheMiss[i] = ca.Stats()
+	}
+	for i, t := range m.tlbs {
+		r.tlbSeen[i] = make(map[int]struct{})
+		r.startTLBClock[i] = t.MemoClock()
+		r.startTLBHits[i], r.startTLBMiss[i] = t.Stats()
+	}
+	r.startPWCClock = c.pwc.MemoClock()
+	r.startPWCHits, r.startPWCMiss = c.pwc.Stats()
+	r.startBPLook, r.startBPMis = ctx.bp.Lookups, ctx.bp.Mispredicts
+	r.startDivBusy = c.ports.Snapshot().DivBusyCycles
+	m.rec = r
+
+	for i, ca := range m.caches {
+		ca.SetMemoHooks(m.cacheTouch[i], m.invalHook)
+	}
+	for i, t := range m.tlbs {
+		t.SetMemoHooks(m.tlbTouch[i], m.invalHook)
+	}
+	c.pwc.SetMemoHooks(m.pwcTouch, m.invalHook)
+	ctx.bp.SetMemoHooks(m.bpTouch, m.invalHook)
+	c.phys.SetMemoHooks(m.physRead, m.physWrite)
+}
+
+func (c *Core) memoUninstallHooks(ctx *Context) {
+	m := &c.memo
+	for _, ca := range m.caches {
+		ca.SetMemoHooks(nil, nil)
+	}
+	for _, t := range m.tlbs {
+		t.SetMemoHooks(nil, nil)
+	}
+	c.pwc.SetMemoHooks(nil, nil)
+	ctx.bp.SetMemoHooks(nil, nil)
+	c.phys.SetMemoHooks(nil, nil)
+}
+
+// memoAbortRecording discards any in-progress recording (retirement,
+// structure invalidation, Run exit, taint escape).
+func (c *Core) memoAbortRecording() {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	c.memo.rec = nil
+	c.memoUninstallHooks(r.ctx)
+}
+
+func (c *Core) memoTouchCache(level, set int) {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	if _, ok := r.cacheSeen[level][set]; ok {
+		return
+	}
+	r.cacheSeen[level][set] = struct{}{}
+	r.ops = append(r.ops, probeOp{kind: opCacheSet, a: int32(level), b: int32(set)})
+	r.digest = c.memo.caches[level].MemoHashSet(set, r.digest)
+}
+
+func (c *Core) memoTouchTLB(ti, set int) {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	if _, ok := r.tlbSeen[ti][set]; ok {
+		return
+	}
+	r.tlbSeen[ti][set] = struct{}{}
+	r.ops = append(r.ops, probeOp{kind: opTLBSet, a: int32(ti), b: int32(set)})
+	r.digest = c.memo.tlbs[ti].MemoHashSet(set, r.digest)
+}
+
+func (c *Core) memoTouchPWC() {
+	r := c.memo.rec
+	if r == nil || r.pwcSeen {
+		return
+	}
+	r.pwcSeen = true
+	r.ops = append(r.ops, probeOp{kind: opPWC})
+	r.digest = c.pwc.MemoHash(r.digest)
+}
+
+func (c *Core) memoTouchBP(idx int) {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	if _, ok := r.bpSeen[idx]; ok {
+		return
+	}
+	r.bpSeen[idx] = struct{}{}
+	r.ops = append(r.ops, probeOp{kind: opBP, a: int32(idx)})
+	r.digest = r.ctx.bp.MemoHashIdx(idx, r.digest)
+}
+
+func (c *Core) memoPhysRead(pa mem.Addr) {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	if _, ok := r.physWritten[pa]; ok {
+		return // window-internal value, not an input
+	}
+	if _, ok := r.physReadSet[pa]; ok {
+		return
+	}
+	r.physReadSet[pa] = struct{}{}
+	r.ops = append(r.ops, probeOp{kind: opPhys, addr: pa})
+	r.digest = memoFold(r.digest, c.phys.Peek64(pa))
+}
+
+func (c *Core) memoPhysWrite(pa mem.Addr) {
+	r := c.memo.rec
+	if r == nil {
+		return
+	}
+	if _, ok := r.physWritten[pa]; ok {
+		return
+	}
+	r.physWritten[pa] = struct{}{}
+	r.physOrder = append(r.physOrder, pa)
+}
+
+// memoTaintExec follows absolute-timestamp taint through one executing
+// instruction (soundness pillar 4 above). Called from execute only while
+// this context's window is being recorded, before architectural effects.
+func (c *Core) memoTaintExec(r *memoRecording, e *pipeline.Entry, forward *pipeline.Entry) {
+	srcTaint := func(i int) bool {
+		p := e.Src[i].Producer
+		return p != nil && r.taint[p.Slot]
+	}
+	t0, t1 := srcTaint(0), srcTaint(1)
+	op := e.Instr.Op
+	res := false
+	switch {
+	case op == isa.OpRdtsc:
+		res = true
+	case op == isa.OpSub:
+		// The difference of two absolute timestamps is base-invariant;
+		// subtracting anything else from (or by) one is not.
+		res = t0 != t1
+	case op.IsCondBranch():
+		if t0 != t1 {
+			c.memoAbortRecording() // direction depends on the cycle base
+			return
+		}
+		// Both absolute: the base cancels in the comparison.
+	case op == isa.OpFDiv:
+		if t0 || t1 {
+			c.memoAbortRecording() // subnormal-latency check is value-dependent
+			return
+		}
+	case op.IsMem():
+		if t0 {
+			c.memoAbortRecording() // address depends on the cycle base
+			return
+		}
+		if op.IsLoad() {
+			res = forward != nil && r.taint[forward.Slot]
+		} else {
+			res = t1 // store data: forwarded loads inherit it
+		}
+	default:
+		res = t0 || t1
+	}
+	r.taint[e.Slot] = res
+}
+
+// memoWindowEnd finalizes a recording at the fault boundary that closes
+// it, converting the capture into a memoRecord.
+func (c *Core) memoWindowEnd(ctx *Context, pf PageFault) {
+	m := &c.memo
+	r := m.rec
+	if r == nil {
+		return
+	}
+	m.rec = nil
+	c.memoUninstallHooks(r.ctx)
+	if r.ctx != ctx || c.cycle == r.startCycle {
+		return
+	}
+
+	rec := &memoRecord{
+		digest:       r.digest,
+		ops:          r.ops,
+		dCycle:       c.cycle - r.startCycle,
+		dSeq:         c.seq - r.startSeq,
+		dSkipped:     c.skipped - r.startSkipped,
+		rngEnd:       c.rngState,
+		dRdrand:      c.rdrandDraws - r.startDraws,
+		dJitter:      c.jitterCount - r.startJitter,
+		dBPLook:      ctx.bp.Lookups - r.startBPLook,
+		dBPMis:       ctx.bp.Mispredicts - r.startBPMis,
+		endFetchPC:   ctx.fetchPC,
+		endSerialize: ctx.serialize,
+		endPF:        pf,
+		rdrandVals:   r.rdrandVals,
+	}
+	rec.ctxStats = make([]ContextStats, len(c.contexts))
+	for i, o := range c.contexts {
+		rec.ctxStats[i] = statsDelta(o.stats, r.startStats[i])
+	}
+	for i, ca := range m.caches {
+		h, ms := ca.Stats()
+		rec.cacheAgg[i] = structAgg{
+			clock:  ca.MemoClock() - r.startCacheClock[i],
+			hits:   h - r.startCacheHits[i],
+			misses: ms - r.startCacheMiss[i],
+		}
+	}
+	for i, t := range m.tlbs {
+		h, ms := t.Stats()
+		rec.tlbAgg[i] = structAgg{
+			clock:  t.MemoClock() - r.startTLBClock[i],
+			hits:   h - r.startTLBHits[i],
+			misses: ms - r.startTLBMiss[i],
+		}
+	}
+	{
+		h, ms := c.pwc.Stats()
+		rec.pwcAgg = structAgg{
+			clock:  c.pwc.MemoClock() - r.startPWCClock,
+			hits:   h - r.startPWCHits,
+			misses: ms - r.startPWCMiss,
+		}
+	}
+	for _, op := range r.ops {
+		switch op.kind {
+		case opCacheSet:
+			rec.cacheSets = append(rec.cacheSets, cacheSetEff{
+				level: op.a, set: op.b,
+				img: m.caches[op.a].MemoCaptureSet(int(op.b), r.startCacheClock[op.a]),
+			})
+		case opTLBSet:
+			rec.tlbSets = append(rec.tlbSets, tlbSetEff{
+				tlb: op.a, set: op.b,
+				img: m.tlbs[op.a].MemoCaptureSet(int(op.b), r.startTLBClock[op.a]),
+			})
+		case opPWC:
+			rec.pwcSeen = true
+			rec.pwcImg = c.pwc.MemoCapture(r.startPWCClock)
+		case opBP:
+			rec.bpIdxs = append(rec.bpIdxs, bpEff{idx: int(op.a), img: ctx.bp.MemoCaptureIdx(int(op.a))})
+		}
+	}
+	for _, a := range r.physOrder {
+		rec.physWrites = append(rec.physWrites, physWriteEff{addr: a, val: c.phys.Peek64(a)})
+	}
+	ps := c.ports.Snapshot()
+	rec.portsIssued = ps.IssuedThis
+	if ps.DivBusyUntil > c.cycle {
+		rec.divRelEnd = ps.DivBusyUntil - c.cycle
+	}
+	rec.dDivBusy = ps.DivBusyCycles - r.startDivBusy
+	if len(r.events) > 0 {
+		rec.events = make([]Event, 0, len(r.events))
+		for _, ev := range r.events {
+			ev.Cycle -= r.startCycle
+			if ev.Seq != 0 {
+				if ev.Seq <= r.startSeq {
+					return // a pre-window seq leaked into the window: drop
+				}
+				ev.Seq -= r.startSeq
+			}
+			rec.events = append(rec.events, ev)
+		}
+	}
+	c.memoInsert(r.site, rec)
+}
+
+func (c *Core) memoInsert(site memoSite, rec *memoRecord) {
+	m := &c.memo
+	if m.records == nil {
+		m.records = make(map[memoSite][]*memoRecord)
+	}
+	if m.nRec >= memoGlobalCap {
+		c.MemoFlush()
+	}
+	recs := m.records[site]
+	if len(recs) >= memoSiteCap {
+		copy(recs, recs[1:])
+		recs = recs[:len(recs)-1]
+		m.nRec--
+		m.stats.Invalidations++
+	}
+	m.records[site] = append(recs, rec)
+	m.nRec++
+}
+
+// MemoFlush drops every record and aborts any in-progress recording.
+// Reconfiguration that changes timing or observation (UpdateTiming,
+// SetTracer, SetShadow, snapshot Restore) calls this; tests may too.
+func (c *Core) MemoFlush() {
+	m := &c.memo
+	c.memoAbortRecording()
+	m.stats.Invalidations += uint64(m.nRec)
+	m.records = nil
+	m.nRec = 0
+}
+
+// --- splice -----------------------------------------------------------
+
+// memoSplice replays a record's effects at the current boundary. The ROB
+// is empty at both window ends (the closing fault squashed everything),
+// and no retirement happened inside, so registers and in-flight state
+// need no replay — only the aggregates, images and events below.
+func (c *Core) memoSplice(rec *memoRecord, ctx *Context) {
+	m := &c.memo
+	baseCycle, baseSeq := c.cycle, c.seq
+	if c.tracer != nil {
+		for _, ev := range rec.events {
+			ev.Cycle += baseCycle
+			if ev.Seq != 0 {
+				ev.Seq += baseSeq
+			}
+			c.tracer.Trace(ev)
+		}
+	}
+	c.cycle = baseCycle + rec.dCycle
+	c.seq = baseSeq + rec.dSeq
+	c.skipped += rec.dSkipped
+	for i := range rec.ctxStats {
+		statsAdd(&c.contexts[i].stats, rec.ctxStats[i])
+	}
+
+	// Structure images rebase onto each structure's clock at splice
+	// time; the aggregate clock advances come after, in one step.
+	var cacheBase [4]uint64
+	for i, ca := range m.caches {
+		cacheBase[i] = ca.MemoClock()
+	}
+	var tlbBase [3]uint64
+	for i, t := range m.tlbs {
+		tlbBase[i] = t.MemoClock()
+	}
+	pwcBase := c.pwc.MemoClock()
+	for i := range rec.cacheSets {
+		eff := &rec.cacheSets[i]
+		m.caches[eff.level].MemoApplySet(int(eff.set), eff.img, cacheBase[eff.level])
+	}
+	for i := range rec.tlbSets {
+		eff := &rec.tlbSets[i]
+		m.tlbs[eff.tlb].MemoApplySet(int(eff.set), eff.img, tlbBase[eff.tlb])
+	}
+	if rec.pwcSeen {
+		c.pwc.MemoApply(rec.pwcImg, pwcBase)
+	}
+	for _, eff := range rec.bpIdxs {
+		ctx.bp.MemoApplyIdx(eff.idx, eff.img)
+	}
+	for i, ca := range m.caches {
+		ca.MemoAdvance(rec.cacheAgg[i].clock, rec.cacheAgg[i].hits, rec.cacheAgg[i].misses)
+	}
+	for i, t := range m.tlbs {
+		t.MemoAdvance(rec.tlbAgg[i].clock, rec.tlbAgg[i].hits, rec.tlbAgg[i].misses)
+	}
+	c.pwc.MemoAdvance(rec.pwcAgg.clock, rec.pwcAgg.hits, rec.pwcAgg.misses)
+	ctx.bp.Lookups += rec.dBPLook
+	ctx.bp.Mispredicts += rec.dBPMis
+
+	for _, w := range rec.physWrites {
+		c.phys.Write64(w.addr, w.val)
+	}
+	c.rngState = rec.rngEnd
+	c.rdrandDraws += rec.dRdrand
+	for _, v := range rec.rdrandVals {
+		if len(c.rdrandLog) < rdrandLogCap {
+			c.rdrandLog = append(c.rdrandLog, v)
+		}
+	}
+	c.jitterCount += rec.dJitter
+
+	c.ports.Restore(pipeline.PortSetSnap{
+		Cycle:         c.cycle,
+		IssuedThis:    rec.portsIssued,
+		DivBusyUntil:  c.cycle + rec.divRelEnd,
+		DivBusyCycles: c.ports.Snapshot().DivBusyCycles + rec.dDivBusy,
+	})
+
+	ctx.fetchPC = rec.endFetchPC
+	ctx.serialize = rec.endSerialize
+	ctx.fetchHalted = false
+	ctx.stallUntil = c.cycle // the closing fault's handler sets the real stall
+	ctx.nextCompleteAt = neverCycle
+	ctx.wakeIssue()
+
+	m.stats.Hits++
+	m.stats.SplicedCycles += rec.dCycle
+}
+
+func statsDelta(a, b ContextStats) ContextStats {
+	return ContextStats{
+		Fetched:            a.Fetched - b.Fetched,
+		Retired:            a.Retired - b.Retired,
+		Squashed:           a.Squashed - b.Squashed,
+		PageFaults:         a.PageFaults - b.PageFaults,
+		TxAborts:           a.TxAborts - b.TxAborts,
+		Mispredicts:        a.Mispredicts - b.Mispredicts,
+		MemOrderViolations: a.MemOrderViolations - b.MemOrderViolations,
+		StallCycles:        a.StallCycles - b.StallCycles,
+		SkippedCycles:      a.SkippedCycles - b.SkippedCycles,
+	}
+}
+
+func statsAdd(dst *ContextStats, d ContextStats) {
+	dst.Fetched += d.Fetched
+	dst.Retired += d.Retired
+	dst.Squashed += d.Squashed
+	dst.PageFaults += d.PageFaults
+	dst.TxAborts += d.TxAborts
+	dst.Mispredicts += d.Mispredicts
+	dst.MemOrderViolations += d.MemOrderViolations
+	dst.StallCycles += d.StallCycles
+	dst.SkippedCycles += d.SkippedCycles
+}

@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"microscope/sim/isa"
+	"microscope/sim/mem"
+)
+
+// Differential tests for the replay-splice memo (memo.go): every scenario
+// is executed twice — Config.ReplayMemo on and off — and the two runs must
+// be indistinguishable in every observable: identical cycle-stamped event
+// streams, final cycle counts, architectural registers and statistics.
+// The edge-case scenarios additionally pin down the invalidation model:
+// handler PTE mutation mid-replay, timing reconfiguration, stores landing
+// in a cached window's read set, and checkpoint/restore straddling a
+// cached window each force fingerprint misses (never wrong splices).
+
+const (
+	memoHandleVA = mem.Addr(0x0050_0000) // replay-handle page
+	memoDataVA   = mem.Addr(0x0051_0000) // mapped page the window reads
+)
+
+// memoVictim is the canonical replay-attack victim: a load of the
+// non-present handle page followed by a transient window of independent
+// work, including a load of a mapped data page (so the window has a
+// physical-memory read set beyond the page walk).
+func memoVictim() *isa.Program {
+	return isa.NewBuilder().
+		MovImm(isa.R1, int64(memoHandleVA)).
+		MovImm(isa.R9, int64(memoDataVA)).
+		Load(isa.R2, isa.R1, 0).     // replay handle: faults until released
+		Mul(isa.R3, isa.R2, isa.R2). // dependent: waits on the handle load
+		MovImm(isa.R5, 7).           // independent transient work
+		Mul(isa.R5, isa.R5, isa.R5).
+		Mul(isa.R5, isa.R5, isa.R5).
+		Load(isa.R6, isa.R9, 0). // transient read of mapped data
+		Add(isa.R7, isa.R6, isa.R5).
+		Halt().MustBuild()
+}
+
+// memoScenario wires a MicroScope-style replay rig: the handle page is
+// mapped then made non-present, and the fault handler replays the window
+// maxReplays-1 times before re-mapping. onFault (optional) runs inside
+// the handler before the replay/release decision — the hook the
+// invalidation tests use to mutate state between windows.
+type memoScenario struct {
+	r          *testRig
+	pteAddr    mem.Addr
+	dataPA     mem.Addr
+	faults     int
+	maxReplays int
+	onFault    func(sc *memoScenario)
+}
+
+func newMemoScenario(t *testing.T, r *testRig, maxReplays int) *memoScenario {
+	t.Helper()
+	sc := &memoScenario{r: r, maxReplays: maxReplays}
+	for _, va := range []mem.Addr{memoHandleVA, memoDataVA} {
+		if _, err := r.as.MapNew(va, mem.FlagUser|mem.FlagWritable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.as.Write64Virt(memoHandleVA, 0xfeed); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.as.Write64Virt(memoDataVA, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	pa, err := r.as.Translate(memoDataVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.dataPA = pa
+	sc.pteAddr, err = r.as.SetPresent(memoHandleVA, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.core.SetFaultHandler(FaultHandlerFunc(func(f PageFault) FaultOutcome {
+		sc.faults++
+		if sc.onFault != nil {
+			sc.onFault(sc)
+		}
+		if sc.faults >= sc.maxReplays {
+			if _, err := r.as.SetPresent(memoHandleVA, true); err != nil {
+				return FaultOutcome{Terminate: true}
+			}
+		}
+		return FaultOutcome{HandlerLatency: 500}
+	}))
+	r.core.Context(0).SetProgram(memoVictim(), 0)
+	return sc
+}
+
+// memoRun is one run's complete observable outcome.
+type memoRun struct {
+	hash    uint64
+	events  int
+	cycles  uint64
+	skipped uint64
+	faults  int
+	regs    [isa.NumRegs]uint64
+	stats   ContextStats
+	memo    MemoStats
+}
+
+// runMemoScenario builds a rig with ReplayMemo set as given, lets build
+// configure it, drives it with the returned function (default: one Run to
+// completion), and digests the outcome.
+func runMemoScenario(t *testing.T, memoOn bool, build func(t *testing.T, r *testRig) (*memoScenario, func())) memoRun {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ReplayMemo = memoOn
+	r := newRig(t, cfg)
+	h := fnv.New64a()
+	n := 0
+	r.core.SetTracer(TracerFunc(func(ev Event) {
+		n++
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%v|%d|%d|%#x|%s\n",
+			ev.Cycle, ev.Context, ev.Kind, ev.PC, ev.Seq, ev.Instr, ev.Walk, ev.Port, ev.Addr, ev.Detail)
+	}))
+	sc, drive := build(t, r)
+	if drive == nil {
+		drive = func() { r.core.Run(2_000_000) }
+	}
+	drive()
+	if !r.core.Halted() {
+		t.Fatalf("memoOn=%v: core did not halt (pc=%d, %d faults)",
+			memoOn, r.core.Context(0).fetchPC, sc.faults)
+	}
+	out := memoRun{
+		hash:    h.Sum64(),
+		events:  n,
+		cycles:  r.core.Cycle(),
+		skipped: r.core.SkippedCycles(),
+		faults:  sc.faults,
+		stats:   r.core.Context(0).Stats(),
+		memo:    r.core.MemoStats(),
+	}
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		out.regs[reg] = r.core.Context(0).Reg(reg)
+	}
+	return out
+}
+
+// memoCompare runs the scenario with the memo on and off and requires
+// byte-identical observables, returning the memo-on run for hit/miss
+// assertions.
+func memoCompare(t *testing.T, build func(t *testing.T, r *testRig) (*memoScenario, func())) memoRun {
+	t.Helper()
+	on := runMemoScenario(t, true, build)
+	off := runMemoScenario(t, false, build)
+	if off.memo != (MemoStats{}) {
+		t.Errorf("memo-off run has memo activity: %+v", off.memo)
+	}
+	if on.hash != off.hash || on.events != off.events {
+		t.Errorf("trace diverges: %d events hash %#x (on) vs %d events hash %#x (off)",
+			on.events, on.hash, off.events, off.hash)
+	}
+	if on.cycles != off.cycles {
+		t.Errorf("final cycle diverges: %d (on) vs %d (off)", on.cycles, off.cycles)
+	}
+	if on.skipped != off.skipped {
+		t.Errorf("skipped cycles diverge: %d (on) vs %d (off)", on.skipped, off.skipped)
+	}
+	if on.faults != off.faults {
+		t.Errorf("fault counts diverge: %d (on) vs %d (off)", on.faults, off.faults)
+	}
+	if on.regs != off.regs {
+		t.Errorf("registers diverge:\n on: %v\noff: %v", on.regs, off.regs)
+	}
+	if on.stats != off.stats {
+		t.Errorf("stats diverge:\n on: %+v\noff: %+v", on.stats, off.stats)
+	}
+	return on
+}
+
+// TestMemoSpliceEquivalence: the steady-state replay loop must splice
+// (the whole point of the memo) while staying bit-identical to the
+// memo-off run.
+func TestMemoSpliceEquivalence(t *testing.T) {
+	on := memoCompare(t, func(t *testing.T, r *testRig) (*memoScenario, func()) {
+		return newMemoScenario(t, r, 10), nil
+	})
+	if on.memo.Hits < 5 {
+		t.Errorf("expected >=5 splices across 10 replays, got %+v", on.memo)
+	}
+	if on.memo.SplicedCycles == 0 {
+		t.Error("splices covered zero cycles")
+	}
+}
+
+// TestMemoFastForwardOffEquivalence: the memo must compose with
+// cycle-by-cycle stepping too (no fast-forward interplay assumptions).
+func TestMemoFastForwardOffEquivalence(t *testing.T) {
+	on := memoCompare(t, func(t *testing.T, r *testRig) (*memoScenario, func()) {
+		cfg := r.core.Config()
+		cfg.FastForward = false
+		if err := r.core.UpdateTiming(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return newMemoScenario(t, r, 10), nil
+	})
+	if on.memo.Hits == 0 {
+		t.Errorf("no splices with fast-forward off: %+v", on.memo)
+	}
+	if on.skipped != 0 {
+		t.Errorf("fast-forward-off run skipped %d cycles", on.skipped)
+	}
+}
+
+// TestMemoHandlerPTEMutationForcesMiss: a handler that mutates the
+// replay handle's PTE mid-replay (here: writing a fresh per-fault value
+// into the PTE's ignored software bits) changes a value in every window's
+// page-walk read set, so no recorded window may ever be spliced — and the
+// run must still match memo-off exactly. (A mutation that merely cycles
+// between a few values may legitimately hit older records at the same
+// site; the counter guarantees the fingerprint never repeats.)
+func TestMemoHandlerPTEMutationForcesMiss(t *testing.T) {
+	on := memoCompare(t, func(t *testing.T, r *testRig) (*memoScenario, func()) {
+		sc := newMemoScenario(t, r, 10)
+		sc.onFault = func(sc *memoScenario) {
+			const swBits = uint64(0x3ff) << 52 // ignored bits 52..61
+			raw := sc.r.core.Phys().Read64(sc.pteAddr)
+			sc.r.core.Phys().Write64(sc.pteAddr, raw&^swBits|uint64(sc.faults)<<52)
+		}
+		return sc, nil
+	})
+	if on.memo.Hits != 0 {
+		t.Errorf("spliced %d windows despite per-replay PTE mutation: %+v", on.memo.Hits, on.memo)
+	}
+	if on.memo.Misses == 0 {
+		t.Error("no fault boundaries reached the memo")
+	}
+}
+
+// TestMemoStoreInReadSetForcesMiss: a store landing in a cached window's
+// read set (here: the handler rewriting the word the window's transient
+// load reads) must force a fingerprint miss on every subsequent probe.
+func TestMemoStoreInReadSetForcesMiss(t *testing.T) {
+	on := memoCompare(t, func(t *testing.T, r *testRig) (*memoScenario, func()) {
+		sc := newMemoScenario(t, r, 10)
+		sc.onFault = func(sc *memoScenario) {
+			sc.r.core.Phys().Write64(sc.dataPA, uint64(0x1000+sc.faults))
+		}
+		return sc, nil
+	})
+	if on.memo.Hits != 0 {
+		t.Errorf("spliced %d windows despite read-set stores: %+v", on.memo.Hits, on.memo)
+	}
+	// The final architectural value of the transient load's register must
+	// reflect the last committed store (checked against memo-off by
+	// memoCompare; sanity-check the absolute value here).
+	if got, want := on.regs[isa.R6], uint64(0x1000+on.faults); got != want {
+		t.Errorf("R6 = %#x, want %#x (last handler store)", got, want)
+	}
+}
+
+// TestMemoJitterReconfigInvalidates: reconfiguring timing between
+// iterations (UpdateTiming with a new jitter schedule) must flush every
+// record; execution stays identical to memo-off under the same
+// reconfiguration schedule.
+func TestMemoJitterReconfigInvalidates(t *testing.T) {
+	on := memoCompare(t, func(t *testing.T, r *testRig) (*memoScenario, func()) {
+		sc := newMemoScenario(t, r, 12)
+		drive := func() {
+			// First phase: enough replays to populate the memo.
+			for sc.faults < 5 && !r.core.Halted() {
+				r.core.Run(5_000)
+			}
+			cfg := r.core.Config()
+			cfg.JitterPeriod = 7
+			cfg.JitterExtra = 30
+			if err := r.core.UpdateTiming(cfg); err != nil {
+				t.Fatal(err)
+			}
+			r.core.Run(2_000_000)
+		}
+		return sc, drive
+	})
+	if on.memo.Invalidations == 0 {
+		t.Errorf("jitter reconfiguration invalidated nothing: %+v", on.memo)
+	}
+}
+
+// TestMemoSnapshotRestoreStraddle: a checkpoint taken mid-replay, with
+// cached windows live, must (a) not capture memo state, (b) flush the
+// memo on restore, and (c) resume bit-identically: the post-restore
+// replay of the tail must produce the same events as the first execution
+// of the tail even though one ran memo-hot and the other re-recorded
+// from scratch.
+func TestMemoSnapshotRestoreStraddle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplayMemo = true
+	r := newRig(t, cfg)
+
+	var h64 uint64 = 14695981039346656037
+	hashing := false
+	r.core.SetTracer(TracerFunc(func(ev Event) {
+		if !hashing {
+			return
+		}
+		s := fmt.Sprintf("%d|%d|%d|%d|%d|%v|%d|%#x|%s",
+			ev.Cycle, ev.Context, ev.Kind, ev.PC, ev.Seq, ev.Instr, ev.Walk, ev.Addr, ev.Detail)
+		for i := 0; i < len(s); i++ {
+			h64 ^= uint64(s[i])
+			h64 *= 1099511628211
+		}
+	}))
+	sc := newMemoScenario(t, r, 12)
+
+	for sc.faults < 5 && !r.core.Halted() {
+		r.core.Run(5_000)
+	}
+	if r.core.Halted() {
+		t.Fatal("victim finished before the checkpoint point")
+	}
+	if r.core.MemoStats().Hits == 0 {
+		t.Fatalf("no cached-window hits before checkpoint: %+v", r.core.MemoStats())
+	}
+
+	coreSnap, err := r.core.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	physSnap := r.core.Phys().Snapshot()
+	faultsAtSnap := sc.faults
+	invalBefore := r.core.MemoStats().Invalidations
+
+	// First execution of the tail: memo hot from the warmup replays.
+	hashing = true
+	h64 = 14695981039346656037
+	r.core.Run(2_000_000)
+	if !r.core.Halted() {
+		t.Fatal("first tail did not complete")
+	}
+	firstHash, firstCycle := h64, r.core.Cycle()
+	var firstRegs [isa.NumRegs]uint64
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		firstRegs[reg] = r.core.Context(0).Reg(reg)
+	}
+
+	// Restore and re-execute the tail: the memo must be flushed (its
+	// records fingerprint pre-restore structure state), so this pass
+	// re-records — and must still produce the identical event stream.
+	hashing = false
+	if err := r.core.Phys().Restore(physSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.core.Restore(coreSnap); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.core.MemoStats().Invalidations; got <= invalBefore {
+		t.Errorf("restore flushed nothing: invalidations %d -> %d", invalBefore, got)
+	}
+	sc.faults = faultsAtSnap
+	hashing = true
+	h64 = 14695981039346656037
+	r.core.Run(2_000_000)
+	if !r.core.Halted() {
+		t.Fatal("restored tail did not complete")
+	}
+	if h64 != firstHash {
+		t.Errorf("restored tail trace diverges: %#x vs %#x", h64, firstHash)
+	}
+	if r.core.Cycle() != firstCycle {
+		t.Errorf("restored tail final cycle diverges: %d vs %d", r.core.Cycle(), firstCycle)
+	}
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		if r.core.Context(0).Reg(reg) != firstRegs[reg] {
+			t.Errorf("restored tail register %v diverges", reg)
+		}
+	}
+}
+
+// TestMemoRunUntilSuspended: RunUntil evaluates its condition between
+// steps; a splice would jump over those evaluations, so the memo must
+// stay idle under RunUntil — while still producing correct execution.
+func TestMemoRunUntilSuspended(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplayMemo = true
+	r := newRig(t, cfg)
+	sc := newMemoScenario(t, r, 6)
+	ctx := r.core.Context(0)
+	if !r.core.RunUntil(func() bool { return ctx.Halted() }, 2_000_000) {
+		t.Fatal("victim did not halt")
+	}
+	if sc.faults != 6 {
+		t.Errorf("expected 6 faults, got %d", sc.faults)
+	}
+	if ms := r.core.MemoStats(); ms.Hits != 0 || ms.Misses != 0 {
+		t.Errorf("memo engaged under RunUntil: %+v", ms)
+	}
+}
+
+// TestMemoDisabledByZeroConfig: Config literals that never opt in must
+// get a fully inert memo.
+func TestMemoDisabledByZeroConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReplayMemo = false
+	r := newRig(t, cfg)
+	newMemoScenario(t, r, 6)
+	r.core.Run(2_000_000)
+	if ms := r.core.MemoStats(); ms != (MemoStats{}) {
+		t.Errorf("memo active despite ReplayMemo=false: %+v", ms)
+	}
+}

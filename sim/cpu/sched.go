@@ -1,0 +1,270 @@
+package cpu
+
+import (
+	"sort"
+
+	"microscope/sim/isa"
+	"microscope/sim/pipeline"
+)
+
+// The event-driven scheduler: per-context wakeup and selection state that
+// replaces the issue/complete stages' O(ROB) scans.
+//
+//   - Per-slot waiter lists wire each in-flight producer to the operands
+//     waiting on it; the completion broadcast captures the result (and its
+//     shadow taint) into the consumers and counts down Entry.NPending.
+//   - Per-port-class ready lists hold dispatched entries whose operands
+//     are all captured, in seq order; the issue stage merges the class
+//     heads instead of scanning the ROB (structural failure is
+//     class-uniform, so one failed head parks the whole class).
+//   - A completion min-heap keyed (CompleteAt, Seq) replaces the
+//     per-cycle walk for due completions and yields the exact
+//     nextCompleteAt the fast-forward engine needs.
+//
+// All of this state is derived from the ROB and is rebuilt from scratch
+// by Context.recount after every squash or snapshot restore. Entries are
+// referenced as (pointer, seq) pairs: slots recycle, so a retained
+// reference is valid only while the seqs still match — stale references
+// (an issued entry still sitting in its ready list, a heap node orphaned
+// by a mid-batch rebuild) are dropped lazily at the next encounter.
+type schedState struct {
+	ready [pipeline.NumPortClasses][]readyRef
+	heap  []compNode
+
+	// rdtscQ holds ready RDTSC entries, which issue only at the ROB head
+	// (serialized timer reads). Keeping them off the ALU ready list means
+	// an issue pass checks exactly one — the oldest, the only one that
+	// can possibly be at the head — instead of skipping every in-flight
+	// timer read, and issued ALU refs never pile up behind a parked
+	// timer read where the front compaction cannot drop them. RDTSC has
+	// no source operands, so entries always arrive here straight from
+	// dispatch, in seq order.
+	rdtscQ []readyRef
+
+	// waiterHead[slot] is the first waiter node of the producer in that
+	// slot (-1 none); a node encodes (consumer slot)*2 + operand index,
+	// and waitNext links nodes. Lists are consumed whole at broadcast and
+	// rebuilt whole at recount, so no stale node ever survives a squash.
+	waiterHead []int32
+	waitNext   []int32
+
+	// Cached divider occupancy (subnormal classification is a measurable
+	// share of issue time when a ready FDiv retries against the busy
+	// non-pipelined divider). Keyed by seq: slot recycling can never
+	// produce a false hit because seqs are forever-unique.
+	occSeq []uint64
+	occVal []uint64
+
+	// gen increments on every rebuild; an issue pass that observes it
+	// change knows a mid-pass squash invalidated its cursors.
+	gen uint64
+}
+
+// readyRef references a ready dispatched entry by slab slot; stale once
+// the slot's seq no longer matches. Slot-based (pointer-free) on purpose:
+// the ready lists are appended, binary-inserted and compacted every pass,
+// and with a *Entry inside every one of those writes would run the GC
+// write barrier — a double-digit share of issue time before the switch.
+type readyRef struct {
+	seq  uint64
+	slot int32
+}
+
+// compNode is one completion-heap node; stale once the entry is no
+// longer the issued instruction the node was pushed for. Pointer-free
+// for the same reason as readyRef.
+type compNode struct {
+	at   uint64
+	seq  uint64
+	slot int32
+}
+
+func (s *schedState) init(capacity int) {
+	for i := range s.ready {
+		s.ready[i] = make([]readyRef, 0, capacity)
+	}
+	s.rdtscQ = make([]readyRef, 0, capacity)
+	s.heap = make([]compNode, 0, capacity)
+	s.waiterHead = make([]int32, capacity)
+	s.waitNext = make([]int32, 2*capacity)
+	s.occSeq = make([]uint64, capacity)
+	s.occVal = make([]uint64, capacity)
+	for i := range s.waiterHead {
+		s.waiterHead[i] = -1
+	}
+}
+
+func heapLess(a, b compNode) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (s *schedState) heapPush(n compNode) {
+	h := append(s.heap, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(h[i], h[p]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.heap = h
+}
+
+func (s *schedState) heapPop() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && heapLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && heapLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.heap = h
+}
+
+// schedDispatch links a freshly dispatched entry into the wakeup state:
+// waiter nodes for operands still pending on a producer, or straight
+// onto its class ready list when everything was captured at dispatch.
+func (ctx *Context) schedDispatch(e *pipeline.Entry) {
+	s := &ctx.sched
+	n := int8(0)
+	for i := range e.Src {
+		if e.Src[i].Ready {
+			continue
+		}
+		p := e.Src[i].Producer
+		node := e.Slot*2 + int32(i)
+		s.waitNext[node] = s.waiterHead[p.Slot]
+		s.waiterHead[p.Slot] = node
+		n++
+	}
+	e.NPending = n
+	if n == 0 {
+		ctx.readyInsert(e)
+	}
+}
+
+// readyInsert places e on its port class's ready list, keeping the list
+// seq-sorted. Dispatch-time inserts are always the youngest seq so far
+// (append); broadcast-time wakeups of older entries binary-insert.
+func (ctx *Context) readyInsert(e *pipeline.Entry) {
+	if e.Instr.Op == isa.OpRdtsc {
+		ctx.sched.rdtscQ = append(ctx.sched.rdtscQ, readyRef{seq: e.Seq, slot: e.Slot})
+		return
+	}
+	cls := pipeline.ClassOf(e.Instr.Op)
+	list := ctx.sched.ready[cls]
+	n := len(list)
+	if n == 0 || list[n-1].seq < e.Seq {
+		ctx.sched.ready[cls] = append(list, readyRef{seq: e.Seq, slot: e.Slot})
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return list[i].seq > e.Seq })
+	list = append(list, readyRef{})
+	copy(list[i+1:], list[i:])
+	list[i] = readyRef{seq: e.Seq, slot: e.Slot}
+	ctx.sched.ready[cls] = list
+}
+
+// broadcast delivers a completed producer's result to every waiting
+// operand: the capture the consumers' OperandsReady check relies on.
+// When a shadow tracker is attached the producer's final taint rides
+// along in PendShadow (folded into SrcShadow at the consumer's issue, so
+// taint visibility timing is unchanged). Consumers whose last pending
+// operand arrives move to their ready list.
+//
+// The list is consumed whole. A node can only be stale here if its
+// consumer slot was recycled without an intervening squash — impossible,
+// since a pending consumer can neither retire nor issue — so the
+// validation is pure insurance.
+func (ctx *Context) broadcast(p *pipeline.Entry) {
+	s := &ctx.sched
+	node := s.waiterHead[p.Slot]
+	if node < 0 {
+		return
+	}
+	s.waiterHead[p.Slot] = -1
+	shadow := ctx.core.shadow != nil
+	for node >= 0 {
+		next := s.waitNext[node]
+		e := ctx.rob.BySlot(node >> 1)
+		i := node & 1
+		if e.State == pipeline.StateDispatched && !e.Src[i].Ready && e.Src[i].Producer == p {
+			e.Src[i].Ready = true
+			e.Src[i].Value = p.Result
+			if shadow {
+				e.PendShadow[i] |= p.Shadow
+			}
+			e.NPending--
+			if e.NPending == 0 {
+				ctx.readyInsert(e)
+			}
+		}
+		node = next
+	}
+}
+
+// schedRebuild reconstructs the scheduler state from the surviving ROB
+// contents (squash recovery and snapshot restore), bumping gen so an
+// in-progress issue pass knows its cursors died. Operands that were
+// waiting on a producer that has already completed — possible only in a
+// restored image, since a live broadcast fires at the completion itself —
+// are captured directly rather than re-linked, because a completed
+// producer will never broadcast again.
+func (ctx *Context) schedRebuild() {
+	s := &ctx.sched
+	s.gen++
+	s.heap = s.heap[:0]
+	s.rdtscQ = s.rdtscQ[:0]
+	for i := range s.ready {
+		s.ready[i] = s.ready[i][:0]
+	}
+	for i := range s.waiterHead {
+		s.waiterHead[i] = -1
+	}
+	shadow := ctx.core.shadow != nil
+	for _, e := range ctx.rob.Entries() {
+		switch e.State {
+		case pipeline.StateDispatched:
+			n := int8(0)
+			for i := range e.Src {
+				if e.Src[i].Ready {
+					continue
+				}
+				p := e.Src[i].Producer
+				if p.State == pipeline.StateCompleted || p.State == pipeline.StateRetired {
+					e.Src[i].Ready = true
+					e.Src[i].Value = p.Result
+					if shadow {
+						e.PendShadow[i] |= p.Shadow
+					}
+					continue
+				}
+				node := e.Slot*2 + int32(i)
+				s.waitNext[node] = s.waiterHead[p.Slot]
+				s.waiterHead[p.Slot] = node
+				n++
+			}
+			e.NPending = n
+			if n == 0 {
+				// ROB order is seq order: the appends inside stay sorted.
+				ctx.readyInsert(e)
+			}
+		case pipeline.StateIssued:
+			s.heapPush(compNode{at: e.CompleteAt, seq: e.Seq, slot: e.Slot})
+		}
+	}
+}

@@ -21,11 +21,13 @@ import (
 // original execution continuing past the snapshot point.
 //
 // Producer pointers inside ROB entries are encoded as indices into the
-// owning context's entry list. Operands whose producer has already
-// completed or retired are resolved eagerly to their value at snapshot
-// time — exactly the resolution Entry.OperandsReady would perform lazily,
-// so the restored machine is semantically identical even though the
-// pointer graph is not reproduced bit-for-bit.
+// owning context's entry list. Captured (ready) operands drop their
+// provenance link — by capture time the sanitizer's dispatch hook has
+// already consumed it, so the restored machine is semantically identical
+// even though the pointer graph is not reproduced bit-for-bit. The
+// scheduler's derived wakeup state (ready lists, completion heap, waiter
+// links) is not encoded at all: recount rebuilds it exactly from the
+// restored ROB.
 //
 // The snapshot does NOT include: the fault handler, the tracer, or the
 // contexts' address-space bindings. Those are host-side wiring (closures
@@ -98,13 +100,14 @@ type EntrySnap struct {
 	WalkCycles int
 
 	// Shadow-taint fields (all zero unless a ShadowTracker was attached).
-	// SrcShadowProd encodes a pending shadow producer as its ROB index
-	// plus one (zero = none); producers whose taint is already final are
-	// folded into SrcShadow eagerly, mirroring snapOperand's resolution.
-	SrcShadow     [2]uint64
-	SrcShadowProd [2]int
-	Shadow        uint64
-	CtrlShadow    uint64
+	// PendShadow carries captured-but-not-yet-folded producer taint, the
+	// engine-side handoff the sanitizer folds into SrcShadow at issue;
+	// taint of producers still in flight needs no encoding, because the
+	// restored completion broadcast captures it again.
+	SrcShadow  [2]uint64
+	PendShadow [2]uint64
+	Shadow     uint64
+	CtrlShadow uint64
 }
 
 // ContextSnap is the serializable state of one SMT context.
@@ -242,22 +245,9 @@ func snapContext(ctx *Context) (ContextSnap, error) {
 			PhysAddr:       e.PhysAddr,
 			WalkCycles:     e.WalkCycles,
 			SrcShadow:      e.SrcShadow,
+			PendShadow:     e.PendShadow,
 			Shadow:         e.Shadow,
 			CtrlShadow:     e.CtrlShadow,
-		}
-		for i, p := range e.SrcShadowProducer {
-			if p == nil {
-				continue
-			}
-			if idx, ok := index[p]; ok && p.State == pipeline.StateDispatched {
-				// Producer not yet issued: its taint is not final, keep the link.
-				es.SrcShadowProd[i] = idx + 1
-			} else {
-				// Issued/completed/retired (or already outside the ROB): the
-				// producer's Shadow is final, resolve eagerly — exactly what
-				// the sanitizer's issue-time resolution would do later.
-				es.SrcShadow[i] |= p.Shadow
-			}
 		}
 		if e.Fault != nil {
 			f, ok := e.Fault.(*mem.Fault)
@@ -290,8 +280,10 @@ func snapContext(ctx *Context) (ContextSnap, error) {
 	return s, nil
 }
 
-// snapOperand encodes one operand, eagerly resolving producers that have
-// already completed or retired (the same resolution OperandsReady does).
+// snapOperand encodes one operand. Captured operands drop their
+// provenance link (it must not be dereferenced anyway — the producer's
+// slot may have been recycled); pending operands encode the producer's
+// ROB index, which the engine's eager capture guarantees is in flight.
 func snapOperand(op pipeline.Operand, index map[*pipeline.Entry]int) (OperandSnap, error) {
 	if op.Ready {
 		return OperandSnap{Ready: true, Value: op.Value, Producer: -1}, nil
@@ -303,10 +295,7 @@ func snapOperand(op pipeline.Operand, index map[*pipeline.Entry]int) (OperandSna
 	if i, ok := index[p]; ok {
 		return OperandSnap{Producer: i}, nil
 	}
-	if p.State == pipeline.StateCompleted || p.State == pipeline.StateRetired {
-		return OperandSnap{Ready: true, Value: p.Result, Producer: -1}, nil
-	}
-	return OperandSnap{}, fmt.Errorf("producer seq %d in state %s is outside the ROB", p.Seq, p.State)
+	return OperandSnap{}, fmt.Errorf("pending producer seq %d in state %s is outside the ROB", p.Seq, p.State)
 }
 
 // Restore overwrites the core's state with a snapshot. The core must have
@@ -318,6 +307,9 @@ func (c *Core) Restore(s *CoreSnap) error {
 	if len(s.Contexts) != len(c.contexts) {
 		return fmt.Errorf("cpu: snapshot has %d contexts, core has %d", len(s.Contexts), len(c.contexts))
 	}
+	// Memo records fingerprint state this restore is about to replace;
+	// drop them all rather than trust probes against rebuilt structures.
+	c.MemoFlush()
 	if err := c.hier.Restore(s.Hier); err != nil {
 		return fmt.Errorf("cpu: restore: %w", err)
 	}
@@ -352,6 +344,7 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 	} else {
 		ctx.prog = nil
 	}
+	ctx.progEpoch++ // new program identity: retire any memo fingerprints
 	ctx.fetchPC = s.FetchPC
 	ctx.fetchHalted = s.FetchHalted
 	ctx.halted = s.Halted
@@ -368,21 +361,22 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 	} else {
 		ctx.txWriteSet = nil
 	}
-	ctx.nDispatched = s.NDispatched
-	ctx.nIssued = s.NIssued
-	ctx.nFences = s.NFences
-	ctx.nextCompleteAt = s.NextCompleteAt
-	ctx.issueSleepUntil = s.IssueSleepUntil
 	ctx.stats = s.Stats
 
+	if err := ctx.rob.BeginReplace(len(s.ROB)); err != nil {
+		return err
+	}
 	entries := make([]*pipeline.Entry, len(s.ROB))
 	for i, es := range s.ROB {
-		e := &pipeline.Entry{
+		e := ctx.rob.Alloc()
+		slot := e.Slot
+		*e = pipeline.Entry{
 			Seq:            es.Seq,
 			PC:             es.PC,
 			Instr:          es.Instr,
 			State:          es.State,
 			Context:        es.Context,
+			Slot:           slot,
 			Result:         es.Result,
 			CompleteAt:     es.CompleteAt,
 			PredictedTaken: es.PredictedTaken,
@@ -393,6 +387,7 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 			PhysAddr:       es.PhysAddr,
 			WalkCycles:     es.WalkCycles,
 			SrcShadow:      es.SrcShadow,
+			PendShadow:     es.PendShadow,
 			Shadow:         es.Shadow,
 			CtrlShadow:     es.CtrlShadow,
 		}
@@ -400,6 +395,7 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 			f := es.Fault
 			e.Fault = &f
 		}
+		ctx.rob.Push(e)
 		entries[i] = e
 	}
 	// Second pass: link producer pointers now that every entry exists.
@@ -414,18 +410,6 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 				entries[i].Src[j] = pipeline.Operand{Producer: entries[os.Producer]}
 			}
 		}
-		for j, sp := range es.SrcShadowProd {
-			if sp == 0 {
-				continue
-			}
-			if sp < 1 || sp > len(entries) {
-				return fmt.Errorf("entry %d src %d: shadow producer index %d out of range", i, j, sp-1)
-			}
-			entries[i].SrcShadowProducer[j] = entries[sp-1]
-		}
-	}
-	if err := ctx.rob.ReplaceEntries(entries); err != nil {
-		return err
 	}
 	for r, idx := range s.RAT {
 		switch {
@@ -437,7 +421,21 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 			ctx.rat[r] = entries[idx]
 		}
 	}
-	return ctx.bp.Restore(s.BP)
+	if err := ctx.bp.Restore(s.BP); err != nil {
+		return err
+	}
+	// Rebuild the scheduler's derived state from the restored ROB, then
+	// overwrite the counters and wake points with the snapshotted values:
+	// recount's recomputation must agree on the counters, but it resets
+	// issueSleepUntil (and a restored quiesce/skip point must be
+	// bit-identical for the fast-forward skip accounting to reproduce).
+	ctx.recount()
+	ctx.nDispatched = s.NDispatched
+	ctx.nIssued = s.NIssued
+	ctx.nFences = s.NFences
+	ctx.nextCompleteAt = s.NextCompleteAt
+	ctx.issueSleepUntil = s.IssueSleepUntil
+	return nil
 }
 
 // UpdateTiming replaces the core's configuration with cfg, which must
@@ -462,6 +460,10 @@ func (c *Core) UpdateTiming(cfg Config) error {
 	case cfg.Hierarchy != c.cfg.Hierarchy:
 		return fmt.Errorf("cpu: UpdateTiming cannot change the cache hierarchy")
 	}
+	// Recorded windows embed the old timing (latencies, jitter schedule);
+	// none of them is replayable under the new one.
+	c.MemoFlush()
 	c.cfg = cfg
+	c.memo.enabled = cfg.ReplayMemo
 	return nil
 }

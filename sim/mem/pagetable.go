@@ -204,6 +204,7 @@ func (as *AddressSpace) Unmap(va Addr) error {
 // one. This is the primitive the MicroScope module uses to locate the
 // pgd_t/pud_t/pmd_t/pte_t of a replay handle (paper §5.2.2, operation 1).
 func (as *AddressSpace) Walk(va Addr) (steps []WalkStep, err error) {
+	steps = make([]WalkStep, 0, int(PTE)+1)
 	tablePPN := as.root
 	for l := PGD; l <= PTE; l++ {
 		ea := entryAddr(tablePPN, l, va)
@@ -217,13 +218,21 @@ func (as *AddressSpace) Walk(va Addr) (steps []WalkStep, err error) {
 	return steps, nil
 }
 
-// Translate returns the physical address for va, or a *Fault error.
+// Translate returns the physical address for va, or a *Fault error. It
+// repeats Walk's traversal inline rather than collecting steps: both it
+// and LeafEntry sit on the simulator's per-access path, where the steps
+// slice was a measurable per-walk heap allocation.
 func (as *AddressSpace) Translate(va Addr) (Addr, error) {
-	steps, err := as.Walk(va)
-	if err != nil {
-		return 0, err
+	tablePPN := as.root
+	for l := PGD; l <= PTE; l++ {
+		ea := entryAddr(tablePPN, l, va)
+		e := Entry(as.phys.Read64(ea))
+		if !e.Present() {
+			return 0, &Fault{VA: va, Level: l}
+		}
+		tablePPN = e.PPN()
 	}
-	return steps[PTE].Entry.PPN()<<PageShift | PageOffset(va), nil
+	return tablePPN<<PageShift | PageOffset(va), nil
 }
 
 // LeafEntry returns the leaf PTE for va along with its physical address.
@@ -231,17 +240,17 @@ func (as *AddressSpace) Translate(va Addr) (Addr, error) {
 // tolerates a non-present leaf, which is exactly the state a MicroScope'd
 // page is in mid-attack.
 func (as *AddressSpace) LeafEntry(va Addr) (Entry, Addr, error) {
-	steps, err := as.Walk(va)
-	if err != nil {
-		var f *Fault
-		if errors.As(err, &f) && f.Level == PTE {
-			s := steps[PTE]
-			return s.Entry, s.EntryAddr, nil
+	tablePPN := as.root
+	for l := PGD; l < PTE; l++ {
+		ea := entryAddr(tablePPN, l, va)
+		e := Entry(as.phys.Read64(ea))
+		if !e.Present() {
+			return 0, 0, &Fault{VA: va, Level: l}
 		}
-		return 0, 0, err
+		tablePPN = e.PPN()
 	}
-	s := steps[PTE]
-	return s.Entry, s.EntryAddr, nil
+	ea := entryAddr(tablePPN, PTE, va)
+	return Entry(as.phys.Read64(ea)), ea, nil
 }
 
 // SetPresent sets or clears the present bit of the leaf PTE for va. It

@@ -16,11 +16,13 @@ type PhysSnap struct {
 // Snapshot captures the allocated prefix of physical memory plus the
 // allocator state.
 func (p *PhysMem) Snapshot() PhysSnap {
+	data := make([]byte, p.nextFrame*PageSize)
+	p.readSlow(0, data)
 	return PhysSnap{
-		Size:      uint64(len(p.data)),
+		Size:      p.size,
 		NextFrame: p.nextFrame,
 		FreeList:  append([]uint64(nil), p.freeList...),
-		Data:      append([]byte(nil), p.data[:p.nextFrame*PageSize]...),
+		Data:      data,
 	}
 }
 
@@ -30,19 +32,18 @@ func (p *PhysMem) Snapshot() PhysSnap {
 // that never-allocated frames read as zero; frames on the free list are
 // zeroed lazily by AllocFrame, as always.
 func (p *PhysMem) Restore(s PhysSnap) error {
-	if s.Size != uint64(len(p.data)) {
+	if s.Size != p.size {
 		return fmt.Errorf("mem: snapshot of %d-byte physical memory restored into %d bytes",
-			s.Size, len(p.data))
+			s.Size, p.size)
 	}
 	if uint64(len(s.Data)) != s.NextFrame*PageSize {
 		return fmt.Errorf("mem: snapshot data %d bytes, want %d for %d frames",
 			len(s.Data), s.NextFrame*PageSize, s.NextFrame)
 	}
-	copy(p.data, s.Data)
+	p.writeSlow(0, s.Data)
 	if p.nextFrame > s.NextFrame {
-		hi := p.nextFrame * PageSize
-		for i := uint64(len(s.Data)); i < hi; i++ {
-			p.data[i] = 0
+		for f := s.NextFrame; f < p.nextFrame; f++ {
+			p.zeroFrame(f)
 		}
 	}
 	p.nextFrame = s.NextFrame

@@ -1,0 +1,61 @@
+package pipeline
+
+// Memo support for the sim/cpu replay-splice cache. The predictor has no
+// recency state, so unlike the caches and TLBs (sim/cache/memo.go,
+// sim/tlb/memo.go) its fingerprint folds raw table content: the touched
+// index's saturating counter and BTB entry.
+
+// fold mixes v into the running FNV-1a hash h.
+func fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// SetMemoHooks installs the recording hooks (nil detaches). touch fires
+// with the table index on every prediction or update; invalidate fires
+// on Flush.
+func (bp *Predictor) SetMemoHooks(touch func(idx int), invalidate func()) {
+	bp.onTouch = touch
+	bp.onInval = invalidate
+}
+
+// MemoIndexOf returns the table index the branch at pc maps to.
+func (bp *Predictor) MemoIndexOf(pc int) int { return pc & bp.mask }
+
+// MemoHashIdx folds one table index's state into h.
+func (bp *Predictor) MemoHashIdx(idx int, h uint64) uint64 {
+	h = fold(h, uint64(bp.counters[idx]))
+	e := bp.btb[idx]
+	if e.valid {
+		h = fold(h, 1)
+		h = fold(h, uint64(uint(e.pc)))
+		h = fold(h, uint64(uint(e.target)))
+	} else {
+		h = fold(h, 0)
+	}
+	return h
+}
+
+// BPImage is the post-window image of one predictor index.
+type BPImage struct {
+	Counter   uint8
+	BTBValid  bool
+	BTBPC     int
+	BTBTarget int
+}
+
+// MemoCaptureIdx images one index at the end of a recorded window.
+func (bp *Predictor) MemoCaptureIdx(idx int) BPImage {
+	e := bp.btb[idx]
+	return BPImage{Counter: bp.counters[idx], BTBValid: e.valid, BTBPC: e.pc, BTBTarget: e.target}
+}
+
+// MemoApplyIdx splices a captured index image back in.
+func (bp *Predictor) MemoApplyIdx(idx int, im BPImage) {
+	bp.counters[idx] = im.Counter
+	bp.btb[idx] = btbEntry{valid: im.BTBValid, pc: im.BTBPC, target: im.BTBTarget}
+}

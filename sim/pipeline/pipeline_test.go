@@ -6,14 +6,21 @@ import (
 	"microscope/sim/isa"
 )
 
-func entry(seq uint64, op isa.Op) *Entry {
-	return &Entry{Seq: seq, Instr: isa.Instr{Op: op}, State: StateDispatched}
+// alloc dispatches a fresh entry into r the way the cycle engine does:
+// slab Alloc, fill, Push.
+func alloc(r *ROB, seq uint64, op isa.Op) *Entry {
+	e := r.Alloc()
+	e.Seq = seq
+	e.Instr = isa.Instr{Op: op}
+	e.State = StateDispatched
+	r.Push(e)
+	return e
 }
 
 func TestROBFIFO(t *testing.T) {
 	r := NewROB(4)
 	for i := uint64(0); i < 4; i++ {
-		r.Push(entry(i, isa.OpNop))
+		alloc(r, i, isa.OpNop)
 	}
 	if !r.Full() {
 		t.Error("ROB not full after cap pushes")
@@ -27,23 +34,20 @@ func TestROBFIFO(t *testing.T) {
 	}
 }
 
-func TestROBPushFullPanics(t *testing.T) {
+func TestROBAllocFullPanics(t *testing.T) {
 	r := NewROB(1)
-	r.Push(entry(0, isa.OpNop))
+	alloc(r, 0, isa.OpNop)
 	defer func() {
 		if recover() == nil {
-			t.Error("push to full ROB did not panic")
+			t.Error("alloc from full ROB did not panic")
 		}
 	}()
-	r.Push(entry(1, isa.OpNop))
+	r.Alloc()
 }
 
 func TestROBSquashAll(t *testing.T) {
 	r := NewROB(4)
-	es := []*Entry{entry(0, isa.OpNop), entry(1, isa.OpNop)}
-	for _, e := range es {
-		r.Push(e)
-	}
+	es := []*Entry{alloc(r, 0, isa.OpNop), alloc(r, 1, isa.OpNop)}
 	if n := r.SquashAll(); n != 2 {
 		t.Errorf("SquashAll = %d", n)
 	}
@@ -61,9 +65,7 @@ func TestROBSquashYounger(t *testing.T) {
 	r := NewROB(8)
 	var es []*Entry
 	for i := uint64(0); i < 5; i++ {
-		e := entry(i, isa.OpNop)
-		es = append(es, e)
-		r.Push(e)
+		es = append(es, alloc(r, i, isa.OpNop))
 	}
 	if n := r.SquashYounger(2); n != 2 {
 		t.Errorf("SquashYounger = %d, want 2", n)
@@ -82,7 +84,7 @@ func TestROBSquashYounger(t *testing.T) {
 func TestROBWalkOrder(t *testing.T) {
 	r := NewROB(4)
 	for i := uint64(0); i < 3; i++ {
-		r.Push(entry(i, isa.OpNop))
+		alloc(r, i, isa.OpNop)
 	}
 	var seen []uint64
 	r.Walk(func(e *Entry) bool {
@@ -102,36 +104,76 @@ func TestROBWalkOrder(t *testing.T) {
 	}
 }
 
-func TestOperandsReadyViaProducer(t *testing.T) {
-	prod := entry(0, isa.OpAdd)
-	cons := entry(1, isa.OpAdd)
+func TestOperandsReadyIsPureFlagCheck(t *testing.T) {
+	r := NewROB(4)
+	prod := alloc(r, 0, isa.OpAdd)
+	cons := alloc(r, 1, isa.OpAdd)
 	cons.Src[0] = Operand{Producer: prod}
 	cons.Src[1] = Operand{Ready: true, Value: 7}
 	if cons.OperandsReady() {
-		t.Error("ready before producer completes")
+		t.Error("ready before the engine captured the operand")
 	}
+	// Completing the producer alone changes nothing: capture is the
+	// cycle engine's completion broadcast, not a lazy deref here.
 	prod.State = StateCompleted
 	prod.Result = 42
-	if !cons.OperandsReady() {
-		t.Fatal("not ready after producer completed")
+	if cons.OperandsReady() {
+		t.Error("OperandsReady dereferenced the producer")
 	}
-	if cons.Src[0].Value != 42 {
-		t.Errorf("forwarded value = %d", cons.Src[0].Value)
+	cons.Src[0].Ready = true
+	cons.Src[0].Value = prod.Result
+	if !cons.OperandsReady() || cons.Src[0].Value != 42 {
+		t.Error("captured operand not ready")
 	}
-	if cons.Src[0].Producer != nil {
-		t.Error("producer link not cleared after forwarding")
+	if cons.Src[0].Producer != prod {
+		t.Error("provenance link lost after capture")
 	}
 }
 
-func TestOperandsReadyFromRetiredProducer(t *testing.T) {
-	prod := entry(0, isa.OpAdd)
-	prod.State = StateRetired
-	prod.Result = 9
-	cons := entry(1, isa.OpAdd)
-	cons.Src[0] = Operand{Producer: prod}
-	cons.Src[1] = Operand{Ready: true}
-	if !cons.OperandsReady() || cons.Src[0].Value != 9 {
-		t.Error("retired producer not forwarded")
+func TestROBSlotRecycling(t *testing.T) {
+	r := NewROB(2)
+	a := alloc(r, 1, isa.OpNop)
+	b := alloc(r, 2, isa.OpNop)
+	if a.Slot == b.Slot {
+		t.Fatalf("distinct entries share slot %d", a.Slot)
+	}
+	aSlot := a.Slot
+	a.State = StateCompleted
+	r.PopHead()
+	c := alloc(r, 3, isa.OpNop)
+	if c.Slot != aSlot {
+		t.Errorf("recycled slot = %d, want %d", c.Slot, aSlot)
+	}
+	if c.Seq != 3 || c.State != StateDispatched {
+		t.Error("recycled slot not reset")
+	}
+	if got := r.BySlot(c.Slot); got != c {
+		t.Error("BySlot does not address the slab")
+	}
+	// Squash recycles too: both slots free again after SquashAll.
+	r.SquashAll()
+	d := r.Alloc()
+	e := r.Alloc()
+	if d.Slot == e.Slot {
+		t.Error("squash did not recycle distinct slots")
+	}
+}
+
+func TestROBResetRefillsFreeList(t *testing.T) {
+	r := NewROB(3)
+	alloc(r, 1, isa.OpNop)
+	alloc(r, 2, isa.OpNop)
+	if err := r.BeginReplace(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		alloc(r, 10+i, isa.OpNop)
+	}
+	if !r.Full() || r.Head().Seq != 10 {
+		t.Errorf("after replace: len=%d head=%v", r.Len(), r.Head())
+	}
+	if err := r.BeginReplace(4); err == nil {
+		t.Error("BeginReplace over capacity did not error")
 	}
 }
 

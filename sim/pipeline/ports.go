@@ -73,6 +73,46 @@ var (
 	storePorts  = []Port{PortStore}
 )
 
+// PortClass identifies a group of ops with identical PortsFor preference
+// lists. Structural issue failure is class-uniform: if one ready op of a
+// class cannot claim a port this cycle, no other op of the same class
+// can either (they compete for exactly the same ports in the same
+// order), so the issue stage keeps one ready queue per class and skips a
+// whole class on its first structural failure.
+type PortClass int
+
+// Port classes, mirroring PortsFor.
+const (
+	ClassALU PortClass = iota
+	ClassBranch
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	NumPortClasses
+)
+
+// ClassOf returns the port class of op (the partition induced by
+// PortsFor).
+func ClassOf(op isa.Op) PortClass {
+	switch {
+	case op.IsLoad():
+		return ClassLoad
+	case op.IsStore():
+		return ClassStore
+	case op.IsBranch():
+		return ClassBranch
+	}
+	switch op {
+	case isa.OpMul, isa.OpFMul, isa.OpFAdd:
+		return ClassMul
+	case isa.OpDiv, isa.OpFDiv:
+		return ClassDiv
+	default:
+		return ClassALU
+	}
+}
+
 // PortSet books issue slots per cycle and models the divider's
 // non-pipelined occupancy. All state is shared by the core's SMT contexts.
 type PortSet struct {

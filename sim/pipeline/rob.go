@@ -47,23 +47,40 @@ func (s EntryState) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
-// Operand is one source operand of a ROB entry: either a ready value or a
-// pointer to the producing in-flight entry.
+// Operand is one source operand of a ROB entry. Ready is authoritative:
+// when set, Value holds the captured data. Producer records the renaming
+// entry the operand was sourced from at dispatch (nil for operands read
+// from the architectural register file); it is kept as provenance after
+// the value is captured, so consumers (the shadow-taint tracker) can tell
+// a renamed operand from an architectural one — but it must never be
+// dereferenced once Ready is set, because the producer's ROB slot may
+// have been recycled by then (the slab reuses slots of retired and
+// squashed entries).
 type Operand struct {
 	Ready    bool
 	Value    uint64 // valid when Ready (float operands carry IEEE-754 bits)
-	Producer *Entry // valid when !Ready
+	Producer *Entry // renaming producer at dispatch; provenance only once Ready
 }
 
-// Entry is one in-flight instruction.
+// Entry is one in-flight instruction. Entries live in their ROB's slab
+// and are identified by a stable Slot for the lifetime of one dynamic
+// instruction; Seq is the forever-unique dispatch identity (slot reuse
+// means a retained (Entry, Seq) pair can be validated: the slot belongs
+// to the same dynamic instruction iff the seqs still match).
 type Entry struct {
 	Seq     uint64 // global dispatch order, used for age comparisons
 	PC      int
 	Instr   isa.Instr
 	State   EntryState
 	Context int
+	Slot    int32 // slab index, stable for the entry's ROB lifetime
 
 	Src [2]Operand
+
+	// NPending counts source operands still waiting on a producer. The
+	// cycle engine's wakeup lists move the entry to its ready queue when
+	// it reaches zero.
+	NPending int8
 
 	// Result holds the destination value once completed (float results as
 	// IEEE-754 bits).
@@ -86,49 +103,56 @@ type Entry struct {
 	WalkCycles int    // page-walk duration observed by this access (0 = TLB hit)
 
 	// Shadow-taint state, maintained by an attached cpu.ShadowTracker
-	// (sim/sanitizer). All zero while no tracker is attached; the cycle
-	// engine itself never reads these fields, so they cannot perturb
-	// timing or results.
+	// (sim/sanitizer) together with the cycle engine. All zero while no
+	// tracker is attached; the cycle engine itself never reads these
+	// fields, so they cannot perturb timing or results.
 	//
 	// SrcShadow holds the taint mask of each source operand: captured
 	// from the architectural shadow registers at dispatch for
-	// ready-at-rename operands, and resolved from SrcShadowProducer at
-	// issue for renamed ones (the shadow analogue of OperandsReady).
+	// register-file operands, and folded from PendShadow at issue for
+	// renamed ones (the shadow analogue of operand capture).
+	// PendShadow is the engine-side handoff for renamed operands: when
+	// the engine captures an operand value from its producer (at dispatch
+	// if the producer has completed, else at the completion broadcast),
+	// it also captures the producer's final Shadow here; the sanitizer
+	// folds it into SrcShadow at issue, preserving the issue-time taint
+	// visibility the tracker's contract promises.
 	// Shadow is the result's taint mask, final once the entry issues.
 	// CtrlShadow is implicit-flow taint: the union of the taints of
 	// older tainted branches whose control-dependent region contains
 	// this entry's PC.
-	SrcShadow         [2]uint64
-	SrcShadowProducer [2]*Entry
-	Shadow            uint64
-	CtrlShadow        uint64
+	SrcShadow  [2]uint64
+	PendShadow [2]uint64
+	Shadow     uint64
+	CtrlShadow uint64
 }
 
-// OperandsReady reports whether both sources are available.
+// OperandsReady reports whether both sources are available. Values are
+// captured eagerly by the cycle engine (at dispatch or at the producer's
+// completion broadcast), so this is a pure flag check.
 func (e *Entry) OperandsReady() bool {
-	for i := range e.Src {
-		if !e.Src[i].Ready {
-			p := e.Src[i].Producer
-			if p == nil {
-				return false
-			}
-			if p.State == StateCompleted || p.State == StateRetired {
-				e.Src[i].Ready = true
-				e.Src[i].Value = p.Result
-				e.Src[i].Producer = nil
-				continue
-			}
-			return false
-		}
-	}
-	return true
+	return e.Src[0].Ready && e.Src[1].Ready
 }
 
 // ROB is one hardware context's reorder buffer: a FIFO of in-flight
 // instructions in program order. (SMT cores statically partition the
 // physical ROB; modelling one ROB per context matches that and keeps
 // squashes context-local, as on the paper's Xeon.)
+//
+// Entry storage is a fixed slab of capacity Entry values with a
+// free-list: dispatch recycles the slot of a retired or squashed
+// instruction instead of heap-allocating, and all in-flight entries stay
+// within one contiguous allocation (the hot stages walk them with no
+// pointer chasing beyond the program-order index).
 type ROB struct {
+	slab []Entry
+	free []int32
+	// entries is a window into buf (2×cap): PopHead advances the window
+	// instead of shifting, and Push slides it back to the front only when
+	// it reaches the end of buf — amortized O(1) with zero steady-state
+	// allocation, where a plain entries[1:] re-slice kept discarding
+	// capacity and sent every refill through the allocator.
+	buf     []*Entry
 	entries []*Entry
 	cap     int
 }
@@ -138,7 +162,20 @@ func NewROB(capacity int) *ROB {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("pipeline: ROB capacity %d", capacity))
 	}
-	return &ROB{cap: capacity}
+	r := &ROB{
+		slab: make([]Entry, capacity),
+		free: make([]int32, 0, capacity),
+		buf:  make([]*Entry, 2*capacity),
+		cap:  capacity,
+	}
+	r.entries = r.buf[:0]
+	// LIFO free-list: pop from the back, so push slots in reverse for
+	// low-to-high first-use order (cosmetic, but keeps slot assignment
+	// deterministic and debuggable).
+	for i := capacity - 1; i >= 0; i-- {
+		r.free = append(r.free, int32(i))
+	}
+	return r
 }
 
 // Cap returns the capacity.
@@ -161,28 +198,61 @@ func (r *ROB) Head() *Entry {
 // At returns the i-th oldest entry.
 func (r *ROB) At(i int) *Entry { return r.entries[i] }
 
-// Push appends a dispatched entry. It panics when full; callers must check
-// Full first (dispatch stalls on a full ROB).
+// BySlot returns the entry occupying slab slot i. The caller must
+// validate it still belongs to the expected dynamic instruction (compare
+// Seq) — slots are recycled.
+func (r *ROB) BySlot(i int32) *Entry { return &r.slab[i] }
+
+// Alloc takes a free slot from the slab and returns it zeroed (Slot
+// preserved) for the caller to fill and Push. It panics when the ROB is
+// full; callers must check Full first.
+func (r *ROB) Alloc() *Entry {
+	n := len(r.free)
+	if n == 0 {
+		panic("pipeline: alloc from full ROB")
+	}
+	slot := r.free[n-1]
+	r.free = r.free[:n-1]
+	e := &r.slab[slot]
+	*e = Entry{Slot: slot}
+	return e
+}
+
+// Push appends a dispatched entry obtained from Alloc. It panics when
+// full; callers must check Full first (dispatch stalls on a full ROB).
 func (r *ROB) Push(e *Entry) {
 	if r.Full() {
 		panic("pipeline: push to full ROB")
 	}
+	if len(r.entries) == cap(r.entries) {
+		// Window reached the end of buf: slide it back to the front. The
+		// regions cannot overlap (the window holds at most cap entries,
+		// the buffer 2×cap).
+		n := copy(r.buf, r.entries)
+		r.entries = r.buf[:n]
+	}
 	r.entries = append(r.entries, e)
 }
 
-// PopHead removes and returns the oldest entry.
+// PopHead removes and returns the oldest entry (retirement). The slot is
+// recycled: the returned pointer stays valid only until the next Alloc.
 func (r *ROB) PopHead() *Entry {
 	e := r.entries[0]
 	r.entries = r.entries[1:]
+	r.free = append(r.free, e.Slot)
 	return e
 }
 
 // SquashAll removes every entry (pipeline flush on a fault), marking each
-// squashed, and returns the count.
+// squashed, and returns the count. Slots are recycled; the squashed
+// entries keep their fields until the next Alloc (callers iterating a
+// pre-squash Entries() snapshot see them StateSquashed, which every
+// stage's filters already skip).
 func (r *ROB) SquashAll() int {
 	n := len(r.entries)
 	for _, e := range r.entries {
 		e.State = StateSquashed
+		r.free = append(r.free, e.Slot)
 	}
 	r.entries = r.entries[:0]
 	return n
@@ -201,10 +271,20 @@ func (r *ROB) SquashYounger(seq uint64) int {
 	n := 0
 	for _, e := range r.entries[keep:] {
 		e.State = StateSquashed
+		r.free = append(r.free, e.Slot)
 		n++
 	}
 	r.entries = r.entries[:keep]
 	return n
+}
+
+// Reset empties the ROB and the slab free-list (snapshot restore).
+func (r *ROB) Reset() {
+	r.entries = r.buf[:0]
+	r.free = r.free[:0]
+	for i := r.cap - 1; i >= 0; i-- {
+		r.free = append(r.free, int32(i))
+	}
 }
 
 // Walk calls fn on each in-flight entry, oldest first, stopping early if
@@ -222,6 +302,6 @@ func (r *ROB) Walk(fn func(*Entry) bool) {
 // instead of through Walk: a closure per stage per context per cycle is
 // real heap traffic on the hot path. A squash during iteration truncates
 // the ROB but leaves the removed entries marked StateSquashed in the
-// backing array, so callers that keep ranging a snapshot see them in a
-// state their filters already skip — the same contract Walk had.
+// slab, so callers that keep ranging a snapshot see them in a state
+// their filters already skip — the same contract Walk had.
 func (r *ROB) Entries() []*Entry { return r.entries }

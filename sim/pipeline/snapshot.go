@@ -7,7 +7,7 @@ import "fmt"
 // Snapshot/Restore methods; the composition into a whole-machine image
 // lives in sim/snapshot. ROB entries are snapshotted by sim/cpu (they
 // carry cross-entry producer pointers that need the context's rename
-// state to encode), so the ROB itself only provides ReplaceEntries.
+// state to encode), so the ROB itself only provides BeginReplace.
 
 // PortSetSnap is the serializable state of a PortSet.
 type PortSetSnap struct {
@@ -80,14 +80,15 @@ func (bp *Predictor) Restore(s PredictorSnap) error {
 	return nil
 }
 
-// ReplaceEntries swaps the ROB's in-flight entries for the given slice,
-// oldest first (snapshot restore). It returns an error instead of
-// panicking when the slice exceeds capacity: a corrupt or mismatched
+// BeginReplace empties the ROB for a snapshot restore, after checking
+// the incoming entry count fits. The caller then Alloc+Pushes each
+// restored entry in program order. It returns an error instead of
+// panicking when the count exceeds capacity: a corrupt or mismatched
 // snapshot must surface as a decode error, not a crash.
-func (r *ROB) ReplaceEntries(entries []*Entry) error {
-	if len(entries) > r.cap {
-		return fmt.Errorf("pipeline: %d snapshot entries exceed ROB capacity %d", len(entries), r.cap)
+func (r *ROB) BeginReplace(n int) error {
+	if n > r.cap {
+		return fmt.Errorf("pipeline: %d snapshot entries exceed ROB capacity %d", n, r.cap)
 	}
-	r.entries = append(r.entries[:0], entries...)
+	r.Reset()
 	return nil
 }

@@ -233,10 +233,15 @@ func (s *Sanitizer) MemShadow(pa mem.Addr) uint64 { return s.shadowMem[pa] }
 // ---------------------------------------------------------------------
 
 // ShadowDispatch captures ready-operand taint from the architectural
-// shadow registers, links rename producers, and computes the entry's
-// implicit-flow taint from (a) the persistent region taint of already
-// resolved secret branches and (b) older in-flight unresolved branches
-// whose known taint and region cover this PC.
+// shadow registers and computes the entry's implicit-flow taint from
+// (a) the persistent region taint of already resolved secret branches
+// and (b) older in-flight unresolved branches whose known taint and
+// region cover this PC. Renamed operands (non-nil Producer provenance)
+// need nothing here: the cycle engine captures the producer's taint
+// into PendShadow alongside the value, and ShadowIssue folds it into
+// SrcShadow — so taint becomes visible in SrcShadow at exactly the
+// same points (dispatch for register-file operands, issue for renamed
+// ones) as before the engine's eager operand capture.
 func (s *Sanitizer) ShadowDispatch(ctx *cpu.Context, e *pipeline.Entry) {
 	id := ctx.ID()
 	s.ensureRegions(id, ctx.Program())
@@ -245,9 +250,7 @@ func (s *Sanitizer) ShadowDispatch(ctx *cpu.Context, e *pipeline.Entry) {
 		if r == isa.NoReg {
 			continue
 		}
-		if p := e.Src[i].Producer; p != nil {
-			e.SrcShadowProducer[i] = p
-		} else {
+		if e.Src[i].Producer == nil {
 			e.SrcShadow[i] = s.regShadow[id][r]
 		}
 	}
@@ -267,18 +270,15 @@ func (s *Sanitizer) ShadowDispatch(ctx *cpu.Context, e *pipeline.Entry) {
 	e.CtrlShadow |= ctrl
 }
 
-// ShadowIssue resolves rename-producer taint (the shadow analogue of
-// OperandsReady), derives the result's taint, records a tainted
+// ShadowIssue folds the engine-captured rename-producer taint
+// (PendShadow) into SrcShadow, derives the result's taint, records a tainted
 // branch's control-dependent region, and runs transmit detection — the
 // entry's microarchitectural footprint (cache set, walk, port, latency)
 // is fixed at issue.
 func (s *Sanitizer) ShadowIssue(ctx *cpu.Context, e *pipeline.Entry, forward *pipeline.Entry) {
 	id := ctx.ID()
-	for i := range e.SrcShadowProducer {
-		if p := e.SrcShadowProducer[i]; p != nil {
-			e.SrcShadow[i] |= p.Shadow
-			e.SrcShadowProducer[i] = nil
-		}
+	for i := range e.PendShadow {
+		e.SrcShadow[i] |= e.PendShadow[i]
 	}
 	in := e.Instr
 	data := e.SrcShadow[0] | e.SrcShadow[1]

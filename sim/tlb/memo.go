@@ -1,0 +1,113 @@
+package tlb
+
+// Memo support for the sim/cpu replay-splice cache: recording hooks,
+// rank-normalized set hashing and set imaging, following the same design
+// as sim/cache (see the comment atop sim/cache/memo.go): LRU clocks are
+// monotonic and never repeat across windows, so fingerprints fold ranks
+// and captured images store clocks as window-relative offsets.
+
+// fold mixes v into the running FNV-1a hash h.
+func fold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// SetMemoHooks installs the recording hooks (nil detaches). touch fires
+// with the set index on every lookup or insert; invalidate fires on
+// Invalidate/FlushPCID/FlushAll, which abort any window being recorded.
+func (t *TLB) SetMemoHooks(touch func(set int), invalidate func()) {
+	t.onTouch = touch
+	t.onInval = invalidate
+}
+
+func packFlags(f EntryFlags) uint64 {
+	v := uint64(0)
+	if f.Writable {
+		v |= 1
+	}
+	if f.User {
+		v |= 2
+	}
+	if f.Enclave {
+		v |= 4
+	}
+	return v
+}
+
+// MemoHashSet folds the behaviour-determining state of one set into h:
+// per way its valid bit and — when valid — the translation content and
+// the way's LRU rank among the set's valid ways. (Insert's victim choice
+// among invalid ways depends on way index, which the per-index fold
+// order captures.)
+func (t *TLB) MemoHashSet(set int, h uint64) uint64 {
+	ways := t.sets[set]
+	for i := range ways {
+		if !ways[i].valid {
+			h = fold(h, 0)
+			continue
+		}
+		rank := uint64(1)
+		for j := range ways {
+			if j == i || !ways[j].valid {
+				continue
+			}
+			if ways[j].lru < ways[i].lru || (ways[j].lru == ways[i].lru && j < i) {
+				rank++
+			}
+		}
+		h = fold(h, rank<<1|1)
+		h = fold(h, ways[i].tr.VPN)
+		h = fold(h, ways[i].tr.PPN)
+		h = fold(h, uint64(ways[i].tr.PCID)<<3|packFlags(ways[i].tr.Flags))
+	}
+	return h
+}
+
+// WayImage is the post-window image of one TLB way (LruOff as in
+// cache.LineImage: -1 means the window left the way alone and its live
+// clock already carries the right rank).
+type WayImage struct {
+	Valid  bool
+	Tr     Translation
+	LruOff int64
+}
+
+// MemoCaptureSet images one set at the end of a recorded window.
+func (t *TLB) MemoCaptureSet(set int, startClock uint64) []WayImage {
+	ways := t.sets[set]
+	img := make([]WayImage, len(ways))
+	for i := range ways {
+		img[i] = WayImage{Valid: ways[i].valid, Tr: ways[i].tr, LruOff: -1}
+		if ways[i].lru > startClock {
+			img[i].LruOff = int64(ways[i].lru - startClock)
+		}
+	}
+	return img
+}
+
+// MemoApplySet splices a captured set image back in, rebasing in-window
+// LRU assignments onto baseClock.
+func (t *TLB) MemoApplySet(set int, img []WayImage, baseClock uint64) {
+	ways := t.sets[set]
+	for i := range img {
+		ways[i].valid = img[i].Valid
+		ways[i].tr = img[i].Tr
+		if img[i].LruOff >= 0 {
+			ways[i].lru = baseClock + uint64(img[i].LruOff)
+		}
+	}
+}
+
+// MemoClock returns the current LRU clock.
+func (t *TLB) MemoClock() uint64 { return t.clock }
+
+// MemoAdvance replays a window's aggregate clock and statistics effect.
+func (t *TLB) MemoAdvance(clockDelta, hitsDelta, missDelta uint64) {
+	t.clock += clockDelta
+	t.hits += hitsDelta
+	t.misses += missDelta
+}

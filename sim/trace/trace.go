@@ -246,16 +246,24 @@ func (c *Collector) Events() uint64 { return c.events }
 // LastCycle is the cycle stamp of the most recent event.
 func (c *Collector) LastCycle() uint64 { return c.last }
 
-// Reset drops all collected state, keeping the configured capacity.
+// Reset drops all collected state, keeping the configured capacity and
+// every backing arena (the span/mark rings and the per-context open
+// lists), so a pooled collector re-attaches without reallocating.
 func (c *Collector) Reset() {
 	c.spans.reset()
 	c.marks.reset()
-	c.open = nil
+	for i := range c.open {
+		c.open[i] = c.open[i][:0]
+	}
 	c.last = 0
 	c.events = 0
 }
 
 // ring is a fixed-capacity FIFO that drops its oldest entry on overflow.
+// Its backing array is an arena: allocated at full capacity on the first
+// push and then reused forever — growing a 64K-entry ring by append
+// doubling would reallocate and copy the whole buffer at every power of
+// two, and that cost lands on the simulation's per-event hot path.
 type ring[T any] struct {
 	cap   int
 	buf   []T
@@ -266,6 +274,9 @@ type ring[T any] struct {
 func (r *ring[T]) push(v T) {
 	r.total++
 	if len(r.buf) < r.cap {
+		if r.buf == nil {
+			r.buf = make([]T, 0, r.cap)
+		}
 		r.buf = append(r.buf, v)
 		return
 	}

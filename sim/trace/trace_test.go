@@ -305,3 +305,36 @@ func benchRun(b *testing.B, tr cpu.Tracer) {
 		core.Run(20_000_000)
 	}
 }
+
+// TestCollectorSteadyStateZeroAlloc pins the arena property of the
+// Collector's rings: once the span/mark arenas exist and the per-context
+// open list has grown to its working size, a steady fetch/retire stream
+// allocates nothing per event — no append-doubling of the 64K rings on
+// the simulation hot path, and Reset must hand the arenas back intact.
+func TestCollectorSteadyStateZeroAlloc(t *testing.T) {
+	c := trace.NewCollector(256)
+	seq := uint64(0)
+	pair := func() {
+		seq++
+		c.Trace(cpu.Event{Cycle: seq, Kind: cpu.EvFetch, Seq: seq, PC: 1,
+			Instr: isa.Instr{Op: isa.OpAdd, Rd: isa.R1}})
+		c.Trace(cpu.Event{Cycle: seq, Kind: cpu.EvRetire, Seq: seq, PC: 1})
+	}
+	for i := 0; i < 512; i++ { // fill both arenas past the ring capacity
+		pair()
+	}
+	if n := testing.AllocsPerRun(1000, pair); n != 0 {
+		t.Errorf("steady-state Trace allocates %v per fetch/retire pair", n)
+	}
+	before := c.Spans()
+	c.Reset()
+	if len(c.Spans()) != 0 || c.Events() != 0 {
+		t.Fatal("Reset left collected state behind")
+	}
+	for i := 0; i < len(before)+1; i++ {
+		pair()
+	}
+	if n := testing.AllocsPerRun(1000, pair); n != 0 {
+		t.Errorf("post-Reset Trace allocates %v per pair: arenas were dropped", n)
+	}
+}

@@ -7,11 +7,21 @@
 // Usage:
 //
 //	go test -bench=. -benchmem | go run ./tools/benchjson -o BENCH_PR3.json
+//	go run ./tools/benchjson -diff [-gate-metric U] [-max-regress F] old.json new.json
 //
 // Input is read from stdin (or a file named as the sole positional
 // argument); output goes to -o, default stdout. Only the standard
 // library is used. The JSON is deterministic for a given input: metric
 // keys are emitted in sorted order and benchmarks in input order.
+//
+// -diff compares two previously emitted JSON documents benchmark by
+// benchmark, printing per-metric deltas, and acts as a regression gate:
+// if the gate metric (default sim-mcycles-per-sec, higher is better)
+// drops by more than -max-regress (a fraction, default 0.5) on any
+// benchmark present in both files, the exit status is nonzero. CI's
+// bench-smoke job runs it against the committed baseline, so a change
+// that tanks simulator throughput fails the build rather than landing
+// silently.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -125,9 +136,113 @@ func run(in io.Reader, out io.Writer) error {
 	return enc.Encode(rep) // map keys marshal in sorted order
 }
 
+// loadReport reads a JSON document previously produced by this tool.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runDiff prints per-metric deltas between two reports (new-report
+// benchmark order, sorted metric order) and returns whether the gate
+// metric regressed beyond maxRegress on any benchmark present in both.
+// The gate metric is higher-is-better; a benchmark or metric missing on
+// either side is reported but never gates.
+func runDiff(oldRep, newRep *Report, gateMetric string, maxRegress float64, out io.Writer) bool {
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	regressed := false
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(out, "%s: only in new report\n", nb.Name)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		fmt.Fprintf(out, "%s\n", nb.Name)
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			nv := nb.Metrics[u]
+			ov, ok := ob.Metrics[u]
+			if !ok {
+				fmt.Fprintf(out, "  %-24s %14.4g (no old value)\n", u, nv)
+				continue
+			}
+			line := fmt.Sprintf("  %-24s %14.4g -> %-14.4g", u, ov, nv)
+			if ov != 0 {
+				line += fmt.Sprintf(" %+8.1f%%", 100*(nv-ov)/ov)
+			}
+			if u == gateMetric && ov > 0 && nv < ov*(1-maxRegress) {
+				line += fmt.Sprintf("  REGRESSION (beyond -%.0f%% gate)", 100*maxRegress)
+				regressed = true
+			}
+			fmt.Fprintln(out, line)
+		}
+		gone := make([]string, 0, len(ob.Metrics))
+		for u := range ob.Metrics {
+			if _, ok := nb.Metrics[u]; !ok {
+				gone = append(gone, u)
+			}
+		}
+		sort.Strings(gone)
+		for _, u := range gone {
+			fmt.Fprintf(out, "  %-24s dropped (was %.4g)\n", u, ob.Metrics[u])
+		}
+	}
+	dropped := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(out, "%s: only in old report\n", name)
+	}
+	return regressed
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two JSON reports: benchjson -diff old.json new.json")
+	gateMetric := flag.String("gate-metric", "sim-mcycles-per-sec",
+		"higher-is-better metric the -diff regression gate watches")
+	maxRegress := flag.Float64("max-regress", 0.5,
+		"fraction of -gate-metric loss tolerated by -diff before exiting nonzero")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-gate-metric U] [-max-regress F] old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if runDiff(oldRep, newRep, *gateMetric, *maxRegress, os.Stdout) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s regressed beyond the %.0f%% gate\n",
+				*gateMetric, 100**maxRegress)
+			os.Exit(1)
+		}
+		return
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() == 1 {

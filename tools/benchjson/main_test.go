@@ -110,3 +110,64 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Error("empty bench run accepted")
 	}
 }
+
+func diffReport(name string, metrics map[string]float64) *Report {
+	return &Report{Benchmarks: []Benchmark{{Name: name, Iterations: 1, Metrics: metrics}}}
+}
+
+func TestDiffReportsDeltasAndGates(t *testing.T) {
+	oldRep := diffReport("Fig10PortContention", map[string]float64{
+		"sim-mcycles-per-sec": 2.0, "ns/op": 100, "separation-x": 17,
+	})
+	newRep := diffReport("Fig10PortContention", map[string]float64{
+		"sim-mcycles-per-sec": 13.0, "ns/op": 20, "threshold-cycles": 53,
+	})
+
+	var out bytes.Buffer
+	if runDiff(oldRep, newRep, "sim-mcycles-per-sec", 0.5, &out) {
+		t.Errorf("6.5x improvement flagged as regression:\n%s", out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Fig10PortContention",
+		"sim-mcycles-per-sec",
+		"+550.0%",
+		"-80.0%",
+		"(no old value)", // threshold-cycles gained
+		"dropped",        // separation-x lost
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diff output missing %q:\n%s", want, s)
+		}
+	}
+
+	// Reversed direction: throughput drops 2.0 -> 13.0... i.e. 13 -> 2 is
+	// an 85%% fall, beyond the 50%% gate.
+	out.Reset()
+	if !runDiff(newRep, oldRep, "sim-mcycles-per-sec", 0.5, &out) {
+		t.Errorf("85%% throughput fall passed the 50%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("gated metric not marked in output:\n%s", out.String())
+	}
+
+	// Within tolerance: a 25%% fall passes a 50%% gate.
+	mid := diffReport("Fig10PortContention", map[string]float64{"sim-mcycles-per-sec": 1.5})
+	out.Reset()
+	if runDiff(oldRep, mid, "sim-mcycles-per-sec", 0.5, &out) {
+		t.Errorf("25%% fall failed the 50%% gate:\n%s", out.String())
+	}
+}
+
+func TestDiffDisjointBenchmarks(t *testing.T) {
+	oldRep := diffReport("OnlyOld", map[string]float64{"ns/op": 1})
+	newRep := diffReport("OnlyNew", map[string]float64{"ns/op": 1})
+	var out bytes.Buffer
+	if runDiff(oldRep, newRep, "sim-mcycles-per-sec", 0.5, &out) {
+		t.Error("disjoint reports gated")
+	}
+	if !strings.Contains(out.String(), "OnlyNew: only in new report") ||
+		!strings.Contains(out.String(), "OnlyOld: only in old report") {
+		t.Errorf("missing disjoint notes:\n%s", out.String())
+	}
+}
