@@ -1,14 +1,11 @@
 package defense
 
 import (
-	"fmt"
-
 	"microscope/attack/microscope"
 	"microscope/attack/victim"
 	"microscope/sim/cache"
 	"microscope/sim/cpu"
 	"microscope/sim/isa"
-	"microscope/sim/kernel"
 	"microscope/sim/mem"
 )
 
@@ -65,17 +62,13 @@ func dejaVuVictim(threshold uint64) *victim.Layout {
 // time budget for the region (it must tolerate at least one ordinary
 // demand fault, or it would flag every benign run).
 func RunDejaVu(threshold uint64, replays int, handlerLatency uint64) (*DejaVuResult, error) {
-	phys := mem.NewPhysMem(64 << 20)
-	core := cpu.NewCore(cpu.DefaultConfig(), phys)
-	k := kernel.New(kernel.DefaultConfig(), phys, core)
-	m := microscope.NewModule(k)
-	proc, err := k.NewProcess("dejavu-victim")
+	p, err := newPlatform(cpu.DefaultConfig(), "dejavu-victim")
 	if err != nil {
 		return nil, err
 	}
-	k.Schedule(0, proc)
+	core, k, m, proc := p.Core, p.Kernel, p.Module, p.Proc
 	l := dejaVuVictim(threshold)
-	if err := l.Install(k, proc); err != nil {
+	if err := p.install(l); err != nil {
 		return nil, err
 	}
 
@@ -106,9 +99,8 @@ func RunDejaVu(threshold uint64, replays int, handlerLatency uint64) (*DejaVuRes
 		return nil, err
 	}
 	l.Start(k, 0)
-	core.Run(100_000_000)
-	if !core.Context(0).Halted() {
-		return nil, fmt.Errorf("defense: dejavu victim did not finish")
+	if err := p.run(100_000_000); err != nil {
+		return nil, err
 	}
 	flag, err := proc.AddressSpace().Read64Virt(outVA)
 	if err != nil {

@@ -3,13 +3,11 @@ package defense
 import (
 	"fmt"
 
-	"microscope/attack/experiments"
 	"microscope/attack/microscope"
 	"microscope/attack/victim"
 	"microscope/sim/cache"
 	"microscope/sim/cpu"
 	"microscope/sim/isa"
-	"microscope/sim/kernel"
 	"microscope/sim/mem"
 )
 
@@ -70,17 +68,13 @@ func RunFenceAfterFlush() (*FenceAfterFlushResult, error) {
 // of 5 replay windows exposed the transmit's footprint (the probe line is
 // re-flushed after every window).
 func replayLeakObserved(cfg cpu.Config) (int, error) {
-	phys := mem.NewPhysMem(64 << 20)
-	core := cpu.NewCore(cfg, phys)
-	k := kernel.New(kernel.DefaultConfig(), phys, core)
-	m := microscope.NewModule(k)
-	proc, err := k.NewProcess("victim")
+	p, err := newPlatform(cfg, "victim")
 	if err != nil {
 		return 0, err
 	}
-	k.Schedule(0, proc)
+	core, k, m, proc := p.Core, p.Kernel, p.Module, p.Proc
 	l := leakVictim()
-	if err := l.Install(k, proc); err != nil {
+	if err := p.install(l); err != nil {
 		return 0, err
 	}
 	probePA, err := proc.AddressSpace().Translate(probeVA)
@@ -107,9 +101,8 @@ func replayLeakObserved(cfg cpu.Config) (int, error) {
 		return 0, err
 	}
 	l.Start(k, 0)
-	core.Run(50_000_000)
-	if !core.Context(0).Halted() {
-		return 0, fmt.Errorf("defense: victim did not finish")
+	if err := p.run(50_000_000); err != nil {
+		return 0, err
 	}
 	return leaky, nil
 }
@@ -135,14 +128,11 @@ func leakVictim() *victim.Layout {
 // benignWorkloadCycles runs a data-dependent branchy loop with demand
 // paging — the workload class fence-after-flush taxes.
 func benignWorkloadCycles(cfg cpu.Config) (uint64, error) {
-	phys := mem.NewPhysMem(64 << 20)
-	core := cpu.NewCore(cfg, phys)
-	k := kernel.New(kernel.DefaultConfig(), phys, core)
-	proc, err := k.NewProcess("benign")
+	p, err := newPlatform(cfg, "benign")
 	if err != nil {
 		return 0, err
 	}
-	k.Schedule(0, proc)
+	core, k, proc := p.Core, p.Kernel, p.Proc
 	data := mem.Addr(0x0060_0000)
 	k.AddVMA(proc, data, data+8*mem.PageSize, rw, "data") // demand paged
 
@@ -166,9 +156,8 @@ func benignWorkloadCycles(cfg cpu.Config) (uint64, error) {
 		Halt().MustBuild()
 	core.Context(0).SetProgram(prog, 0)
 	start := core.Cycle()
-	core.Run(50_000_000)
-	if !core.Context(0).Halted() {
-		return 0, fmt.Errorf("defense: benign workload did not finish")
+	if err := p.run(50_000_000); err != nil {
+		return 0, fmt.Errorf("benign workload: %w", err)
 	}
 	return core.Cycle() - start, nil
 }
@@ -220,22 +209,22 @@ func RunInvisibleSpeculation() (*InvisibleSpecResult, error) {
 func runDenoiseWithConfig(secret bool, replays int, tweak func(*cpu.Config)) (bool, error) {
 	cfg := cpu.DefaultConfig()
 	tweak(&cfg)
-	rig, err := experiments.NewRig(cfg)
+	p, err := newPlatform(cfg, "victim")
 	if err != nil {
 		return false, err
 	}
 	vic := victim.ControlFlowSecret(secret)
-	if err := rig.InstallVictim(vic); err != nil {
+	if err := p.install(vic); err != nil {
 		return false, err
 	}
 	var lastBusy uint64
 	hits := 0
 	rec := &microscope.Recipe{
-		Name: "inv-port", Victim: rig.Victim, Handle: vic.Sym("handle"),
+		Name: "inv-port", Victim: p.Proc, Handle: vic.Sym("handle"),
 		MaxReplays: replays,
 	}
 	rec.OnReplay = func(ev microscope.Event) microscope.Decision {
-		busy := rig.Core.Ports().DivBusyCycles
+		busy := p.Core.Ports().DivBusyCycles
 		if busy > lastBusy {
 			hits++
 		}
@@ -245,11 +234,11 @@ func runDenoiseWithConfig(secret bool, replays int, tweak func(*cpu.Config)) (bo
 		}
 		return microscope.Replay
 	}
-	if err := rig.Module.Install(rec); err != nil {
+	if err := p.Module.Install(rec); err != nil {
 		return false, err
 	}
-	vic.Start(rig.Kernel, 0)
-	if err := rig.Run(100_000_000); err != nil {
+	vic.Start(p.Kernel, 0)
+	if err := p.run(100_000_000); err != nil {
 		return false, err
 	}
 	return (hits > replays/2) == secret, nil

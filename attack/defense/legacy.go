@@ -1,0 +1,110 @@
+package defense
+
+import (
+	"microscope/attack/victim"
+	"microscope/sim/cpu"
+	"microscope/sim/kernel"
+)
+
+// This file wires the §8 countermeasures the paper analyzed — T-SGX,
+// Déjà Vu, page-fault obliviousness, and the hardware proposals the
+// paper criticizes — into the Defense interface, so the tournament can
+// run them against arbitrary victims. The focused single-victim
+// experiments (RunTSGX, RunDejaVu, ...) remain alongside; these
+// adapters generalize the same mechanisms.
+
+// DejaVu models the enclave's software clock: an enclave thread
+// measures its own progress, and time lost to exits (here: cycles spent
+// in the fault handler, ContextStats.StallCycles) beyond the budget it
+// must tolerate for ordinary demand faults flags an attack. The
+// paper's bypass applies unchanged — an attacker who keeps total
+// handler time under the budget goes unnoticed — and handles that
+// never exit (TSX aborts, mispredicts) never advance the clock at all.
+type DejaVu struct {
+	// StallBudget is the handler-cycle allowance; the default in All()
+	// tolerates a couple of demand faults (2×6000) with headroom.
+	StallBudget uint64
+}
+
+func (d *DejaVu) Name() string                                    { return "dejavu" }
+func (d *DejaVu) Configure(*cpu.Config)                           {}
+func (d *DejaVu) Harden(l *victim.Layout) (*victim.Layout, error) { return l, nil }
+func (d *DejaVu) Install(*kernel.Kernel, *kernel.Process) error   { return nil }
+func (d *DejaVu) Verdict(k *kernel.Kernel, core *cpu.Core, proc *kernel.Process, ctxID int) Verdict {
+	stalled := core.Context(ctxID).Stats().StallCycles
+	return Verdict{
+		Detected: stalled > d.StallBudget,
+		Counters: map[string]uint64{"stall_cycles": stalled},
+	}
+}
+
+// TSGX wraps the victim in a TSX transaction with a halt-on-exhaust
+// abort handler (victim.WrapTx): page faults inside the transaction
+// become aborts the OS never sees, and an abort burst past the budget
+// shuts the enclave down instead of feeding the attacker more windows.
+// The paper's observation stands: the retries themselves are N-1
+// replays the attacker observes passively.
+type TSGX struct {
+	// Budget is the abort allowance N (the T-SGX authors use 10).
+	Budget int
+}
+
+func (d *TSGX) Name() string          { return "tsgx" }
+func (d *TSGX) Configure(*cpu.Config) {}
+func (d *TSGX) Harden(l *victim.Layout) (*victim.Layout, error) {
+	return victim.WrapTx(l, int64(d.Budget), true)
+}
+func (d *TSGX) Install(*kernel.Kernel, *kernel.Process) error { return nil }
+func (d *TSGX) Verdict(k *kernel.Kernel, core *cpu.Core, proc *kernel.Process, ctxID int) Verdict {
+	aborts := core.Context(ctxID).Stats().TxAborts
+	return Verdict{
+		Detected: d.Budget > 0 && aborts >= uint64(d.Budget),
+		Counters: map[string]uint64{"tx_aborts": aborts},
+	}
+}
+
+// PFOblivious models Shinde-et-al. page-fault-oblivious execution as a
+// program transformation (victim.WithPreface): the victim touches every
+// page of its working set up front, so the page-level trace is
+// secret-independent and an armed present bit is consumed by a preface
+// load whose window carries no secret. As §8 observes, the redundant
+// accesses are themselves fresh replay handles; the tournament's
+// baseline rows show the attack surviving at cache-line granularity.
+type PFOblivious struct{}
+
+func (PFOblivious) Name() string          { return "pfoblivious" }
+func (PFOblivious) Configure(*cpu.Config) {}
+func (PFOblivious) Harden(l *victim.Layout) (*victim.Layout, error) {
+	return victim.WithPreface(l), nil
+}
+func (PFOblivious) Install(*kernel.Kernel, *kernel.Process) error { return nil }
+func (PFOblivious) Verdict(*kernel.Kernel, *cpu.Core, *kernel.Process, int) Verdict {
+	return Verdict{}
+}
+
+// Fence is the paper's fence-after-flush hardware proposal: a fence
+// after every pipeline flush serializes the restart, so replay windows
+// after the first carry no speculative transmit.
+type Fence struct{}
+
+func (Fence) Name() string                                    { return "fence" }
+func (Fence) Configure(cfg *cpu.Config)                       { cfg.FenceAfterFlush = true }
+func (Fence) Harden(l *victim.Layout) (*victim.Layout, error) { return l, nil }
+func (Fence) Install(*kernel.Kernel, *kernel.Process) error   { return nil }
+func (Fence) Verdict(*kernel.Kernel, *cpu.Core, *kernel.Process, int) Verdict {
+	return Verdict{}
+}
+
+// InvisiSpec is InvisiSpec/SafeSpec-style invisible speculation:
+// speculative loads fill no shared cache state until they are safe. It
+// closes the cache channel and — as §8 notes — leaves port contention
+// wide open, which the tournament's port-probed victims demonstrate.
+type InvisiSpec struct{}
+
+func (InvisiSpec) Name() string                                    { return "invisispec" }
+func (InvisiSpec) Configure(cfg *cpu.Config)                       { cfg.InvisibleSpeculation = true }
+func (InvisiSpec) Harden(l *victim.Layout) (*victim.Layout, error) { return l, nil }
+func (InvisiSpec) Install(*kernel.Kernel, *kernel.Process) error   { return nil }
+func (InvisiSpec) Verdict(*kernel.Kernel, *cpu.Core, *kernel.Process, int) Verdict {
+	return Verdict{}
+}

@@ -8,7 +8,6 @@ import (
 	"microscope/sim/cache"
 	"microscope/sim/cpu"
 	"microscope/sim/isa"
-	"microscope/sim/kernel"
 	"microscope/sim/mem"
 )
 
@@ -87,26 +86,21 @@ func RunPFOblivious() (*PFObliviousResult, error) {
 	// compare the VPN fault sequences.
 	var traces [2][]uint64
 	for i, secret := range []bool{false, true} {
-		phys := mem.NewPhysMem(64 << 20)
-		core := cpu.NewCore(cpu.DefaultConfig(), phys)
-		k := kernel.New(kernel.DefaultConfig(), phys, core)
-		proc, err := k.NewProcess("obliv")
+		p, err := newPlatform(cpu.DefaultConfig(), "obliv")
 		if err != nil {
 			return nil, err
 		}
-		k.Schedule(0, proc)
 		l := oblivVictim(secret)
 		// Install regions WITHOUT eager mapping: every first touch
 		// faults, exposing the page-level trace to the OS.
 		for _, reg := range l.Regions {
-			k.AddVMA(proc, reg.VA, reg.VA+reg.Size, reg.Flags, reg.Name)
+			p.Kernel.AddVMA(p.Proc, reg.VA, reg.VA+reg.Size, reg.Flags, reg.Name)
 		}
-		l.Start(k, 0)
-		core.Run(50_000_000)
-		if !core.Context(0).Halted() {
-			return nil, fmt.Errorf("defense: oblivious victim %d did not finish", i)
+		l.Start(p.Kernel, 0)
+		if err := p.run(50_000_000); err != nil {
+			return nil, fmt.Errorf("oblivious victim %d: %w", i, err)
 		}
-		for _, f := range k.FaultLog() {
+		for _, f := range p.Kernel.FaultLog() {
 			traces[i] = append(traces[i], f.VPN)
 		}
 	}
@@ -115,17 +109,13 @@ func RunPFOblivious() (*PFObliviousResult, error) {
 	// Step 2: mount MicroScope using a redundant access as the handle and
 	// recover the secret through the cache-line channel.
 	secret := true
-	phys := mem.NewPhysMem(64 << 20)
-	core := cpu.NewCore(cpu.DefaultConfig(), phys)
-	k := kernel.New(kernel.DefaultConfig(), phys, core)
-	m := microscope.NewModule(k)
-	proc, err := k.NewProcess("obliv-attacked")
+	p, err := newPlatform(cpu.DefaultConfig(), "obliv-attacked")
 	if err != nil {
 		return nil, err
 	}
-	k.Schedule(0, proc)
+	core, k, m, proc := p.Core, p.Kernel, p.Module, p.Proc
 	l := oblivVictim(secret)
-	if err := l.Install(k, proc); err != nil {
+	if err := p.install(l); err != nil {
 		return nil, err
 	}
 	// Every page the victim touches is a handle candidate; the redundant
@@ -167,9 +157,8 @@ func RunPFOblivious() (*PFObliviousResult, error) {
 		return nil, err
 	}
 	l.Start(k, 0)
-	core.Run(50_000_000)
-	if !core.Context(0).Halted() {
-		return nil, fmt.Errorf("defense: attacked oblivious victim did not finish")
+	if err := p.run(50_000_000); err != nil {
+		return nil, fmt.Errorf("attacked oblivious victim: %w", err)
 	}
 	res.SecretRecovered = recovered == 1 // secret was true
 	return res, nil

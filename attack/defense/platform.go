@@ -1,0 +1,65 @@
+package defense
+
+import (
+	"fmt"
+	"strings"
+
+	"microscope/attack/microscope"
+	"microscope/attack/victim"
+	"microscope/sim/cpu"
+	"microscope/sim/kernel"
+	"microscope/sim/mem"
+)
+
+// platform is the minimal attack rig every defense experiment in this
+// package assembles: physical memory, one core, a kernel with the
+// MicroScope module loaded, and a victim process on context 0. It is
+// deliberately a local twin of experiments.Rig — this package must not
+// import attack/experiments (the tournament there imports us), so the
+// handful of setup lines live here instead of being duplicated in every
+// Run* entry point.
+type platform struct {
+	Phys   *mem.PhysMem
+	Core   *cpu.Core
+	Kernel *kernel.Kernel
+	Module *microscope.Module
+	Proc   *kernel.Process
+}
+
+// newPlatform assembles a platform with the given core configuration.
+func newPlatform(cfg cpu.Config, procName string) (*platform, error) {
+	phys := mem.NewPhysMem(64 << 20)
+	core := cpu.NewCore(cfg, phys)
+	k := kernel.New(kernel.DefaultConfig(), phys, core)
+	m := microscope.NewModule(k)
+	proc, err := k.NewProcess(procName)
+	if err != nil {
+		return nil, err
+	}
+	k.Schedule(0, proc)
+	return &platform{Phys: phys, Core: core, Kernel: k, Module: m, Proc: proc}, nil
+}
+
+// install registers and eagerly maps a victim layout into the platform's
+// process.
+func (p *platform) install(l *victim.Layout) error {
+	return l.Install(p.Kernel, p.Proc)
+}
+
+// run drives the core until every loaded context halts, erroring on
+// timeout with each spinning context's PC.
+func (p *platform) run(maxCycles uint64) error {
+	p.Core.Run(maxCycles)
+	if !p.Core.Halted() {
+		var sb strings.Builder
+		for i := 0; i < p.Core.Contexts(); i++ {
+			ctx := p.Core.Context(i)
+			if ctx.Program() == nil || ctx.Halted() {
+				continue
+			}
+			fmt.Fprintf(&sb, "; ctx%d spinning at pc=%d", i, ctx.PC())
+		}
+		return fmt.Errorf("defense: run exceeded %d cycles%s", maxCycles, sb.String())
+	}
+	return nil
+}

@@ -11,7 +11,6 @@ import (
 	"microscope/sim/cache"
 	"microscope/sim/cpu"
 	"microscope/sim/isa"
-	"microscope/sim/kernel"
 	"microscope/sim/mem"
 )
 
@@ -85,16 +84,13 @@ func tsgxVictim(n int) *victim.Layout {
 // passively observes the transmit's cache footprint after each of the
 // first n−1 retries.
 func RunTSGX(n int) (*TSGXResult, error) {
-	phys := mem.NewPhysMem(64 << 20)
-	core := cpu.NewCore(cpu.DefaultConfig(), phys)
-	k := kernel.New(kernel.DefaultConfig(), phys, core)
-	proc, err := k.NewProcess("tsgx-victim")
+	p, err := newPlatform(cpu.DefaultConfig(), "tsgx-victim")
 	if err != nil {
 		return nil, err
 	}
-	k.Schedule(0, proc)
+	core, k, proc := p.Core, p.Kernel, p.Proc
 	l := tsgxVictim(n)
-	if err := l.Install(k, proc); err != nil {
+	if err := p.install(l); err != nil {
 		return nil, err
 	}
 

@@ -7,6 +7,7 @@
 //	execpath   — narrate the Fig. 9 kernel execution path of one fault
 //	generalize — run the Fig. 12 replay-handle generalizations (§7)
 //	defenses   — evaluate the §8 countermeasures
+//	tournament — run the victim x handle x defense cross-product matrix
 //	denoise    — print the replay-count/confidence denoising curve
 //	baselines  — run the §2.4 prior attacks for comparison
 //	walk       — print a Fig. 2 four-level page-table walk
@@ -88,6 +89,12 @@ var reverseTo = flag.Uint64("reverse-to", 0,
 
 var checkpointOut = flag.String("checkpoint-out", "",
 	"write the machine snapshot at `timeline` exit to this file (gob; diff two with tools/snapdiff)")
+
+// jsonOut switches the tournament subcommand from the rendered grids to
+// the byte-deterministic JSON matrix — the exact bytes the golden test
+// gates, so CI diffs and the committed testdata stay comparable.
+var jsonOut = flag.Bool("json", false,
+	"print the tournament matrix as canonical JSON instead of rendered tables (`tournament` only)")
 
 // observers is the tracer stack the -trace/-metrics flags request.
 type observers struct {
@@ -307,6 +314,8 @@ func dispatch(cmd string) error {
 		err = runGeneralize()
 	case "defenses":
 		err = runDefenses()
+	case "tournament":
+		err = runTournament()
 	case "denoise":
 		err = runDenoise()
 	case "baselines":
@@ -322,7 +331,7 @@ func dispatch(cmd string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: microscope [-workers N] [-stats] [-cpuprofile f] [-memprofile f] [-sanitize] [-trace out.json] [-metrics] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|denoise|baselines|walk>")
+		"usage: microscope [-workers N] [-stats] [-cpuprofile f] [-memprofile f] [-sanitize] [-trace out.json] [-metrics] [-json] [-checkpoint-every N] [-reverse-to K] [-checkpoint-out img.gob] <table1|table2|timeline|execpath|generalize|defenses|tournament|denoise|baselines|walk>")
 }
 
 // runTable2 exercises the five Table 2 operations against a live victim.
@@ -638,6 +647,27 @@ func runDefenses() error {
 	}
 	fmt.Printf("PF-obliviousness:  page traces equal=%t, handle candidates=%d, secret recovered=%t\n",
 		po.PageTraceEqual, po.HandleCandidates, po.SecretRecovered)
+	return nil
+}
+
+// runTournament runs the full defense tournament: every builtin victim
+// crossed with every replay-handle class and every roster defense, forked
+// from per-victim warm checkpoints. Output is the rendered grids (or the
+// canonical JSON under -json), byte-identical for any -workers value.
+func runTournament() error {
+	m, err := experiments.RunTournament(experiments.TournamentOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		b, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(string(b))
+		return nil
+	}
+	fmt.Print(m.Render())
 	return nil
 }
 

@@ -64,6 +64,32 @@ type Config struct {
 	// criticism of these schemes).
 	InvisibleSpeculation bool
 
+	// SquashThreshold enables the Jamais Vu-style replay detector (see
+	// jamaisvu.go): each context counts, per PC, how many times the
+	// instruction at that PC was flushed by a fault without retiring;
+	// reaching SquashThreshold raises a replay alarm
+	// (ContextStats.ReplayAlarms). A retirement of the PC clears its
+	// counter, so benign code that faults once per demand page never
+	// accumulates. Zero disables the detector. Enabling it self-gates
+	// the replay memo: the counters are fingerprint-invisible state, so
+	// no window is ever spliced while the detector runs (see memoUsable).
+	SquashThreshold int
+	// SquashEpoch is the epoch length, in cycles, of the Jamais Vu
+	// counters: when the cycle counter crosses an epoch boundary the
+	// context's counters clear (lazily, at the next counted fault), so
+	// fault bursts far apart in time never sum to an alarm. Zero means
+	// counters persist until their PC retires.
+	SquashEpoch uint64
+
+	// DelaySpeculative models Sakalis-style selective delay of
+	// speculative instructions: transmit-capable ops (loads,
+	// integer/FP divides, RDRAND) issue only once every older
+	// instruction in the context's ROB has completed — i.e. once they
+	// are no longer speculative. A MicroScope replay window then carries
+	// no microarchitectural transmit: the faulting handle never
+	// completes, so nothing after it issues.
+	DelaySpeculative bool
+
 	// BranchPredictorBits sizes the per-context predictor (2^bits
 	// entries).
 	BranchPredictorBits int

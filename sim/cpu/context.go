@@ -28,6 +28,10 @@ type ContextStats struct {
 	// jumped over while this context had a program loaded (the cycles
 	// were provably dead for every context; see Config.FastForward).
 	SkippedCycles uint64
+	// ReplayAlarms counts Jamais Vu replay-detector trips (see
+	// Config.SquashThreshold and jamaisvu.go); always zero while the
+	// detector is disabled.
+	ReplayAlarms uint64
 }
 
 // Context is one SMT hardware context: architectural registers, a fetch
@@ -104,6 +108,12 @@ type Context struct {
 	// happens to reuse the same PCs.
 	progEpoch uint64
 
+	// Jamais Vu replay-detector state (Config.SquashThreshold; see
+	// jamaisvu.go): fault-squash counts per PC, and the epoch index the
+	// counts belong to (lazy epoch clearing).
+	jvCounts map[int]uint32
+	jvEpoch  uint64
+
 	stats ContextStats
 }
 
@@ -163,6 +173,7 @@ func (ctx *Context) load(p *isa.Program, entry int) {
 	}
 	ctx.prog = p
 	ctx.progEpoch++
+	ctx.jvReset()
 	ctx.fetchPC = entry
 	ctx.fetchHalted = false
 	ctx.halted = false

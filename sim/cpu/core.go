@@ -253,6 +253,28 @@ func (c *Core) FlushPageStructures(entryAddr mem.Addr) {
 	c.pwc.Flush(entryAddr)
 }
 
+// FlushMicroarch is the SIMF single-instruction multi-flush: it scrubs
+// every shared structure a transient window leaves a footprint in — the
+// whole cache hierarchy, all TLB levels, the page-walk cache — plus the
+// given context's branch predictor. The kernel invokes it on the fault
+// path of a SIMF-protected process (the enclave's exception exit runs
+// before the untrusted handler), so by the time the OS — or a prime+
+// probe attacker riding its handler — looks, the structures are cold.
+// Execution-port contention is untouched: SIMF flushes state, not
+// occupancy, which is exactly the residual channel the tournament's
+// port victims still leak through.
+//
+// Every memoized replay window fingerprints first-touch state of these
+// structures, so all records are dropped rather than left to mismatch
+// one probe at a time.
+func (c *Core) FlushMicroarch(ctxID int) {
+	c.MemoFlush()
+	c.hier.FlushAll()
+	c.tlbs.FlushAll()
+	c.pwc.FlushAll()
+	c.contexts[ctxID].bp.Flush()
+}
+
 // rdrand returns the next value of the deterministic hardware RNG
 // (xorshift64*).
 func (c *Core) rdrand() uint64 {
@@ -649,6 +671,7 @@ func (c *Core) commit(ctx *Context, e *pipeline.Entry) {
 	}
 	e.State = pipeline.StateRetired
 	ctx.serialize = false // first post-flush retirement lifts the fence
+	c.jvRetire(ctx, e.PC) // forward progress at this PC: not a replay
 	ctx.stats.Retired++
 	if c.tracer != nil {
 		c.trace(Event{Context: ctx.id, Kind: EvRetire, PC: e.PC, Seq: e.Seq, Instr: e.Instr})
@@ -799,9 +822,14 @@ func (c *Core) AbortTx(ctxID int, reason string) bool {
 // thousands of MicroScope replay iterations without simulating them.
 func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 	// A fault inside a transaction aborts the transaction instead of
-	// trapping to the OS — the TSX behaviour T-SGX builds on (§8).
+	// trapping to the OS — the TSX behaviour T-SGX builds on (§8). The
+	// Jamais Vu detector still counts it: the faulting PC is flushed
+	// without retiring whether the flush traps or aborts, and hiding
+	// faults from the OS is exactly the evasion the hardware counters
+	// exist to catch.
 	if ctx.inTx {
 		c.memoAbortRecording()
+		c.jvFault(ctx, e.PC)
 		c.abortTx(ctx, fmt.Sprintf("page fault in tx at pc=%d", e.PC))
 		return
 	}
@@ -833,6 +861,7 @@ func (c *Core) deliverFault(ctx *Context, e *pipeline.Entry) {
 // the handler call to the caller.
 func (c *Core) faultPre(ctx *Context, e *pipeline.Entry) PageFault {
 	ctx.stats.PageFaults++
+	c.jvFault(ctx, e.PC)
 	ctx.squashAll()
 	ctx.fetchPC = e.PC
 	if c.cfg.FenceAfterFlush {
@@ -1059,6 +1088,31 @@ func (c *Core) occupancyOf(ctx *Context, e *pipeline.Entry) uint64 {
 	}
 }
 
+// transmitCapable reports whether op can transmit information through
+// the microarchitecture while speculative — a cache/TLB footprint
+// (loads), non-pipelined divider occupancy (divides), or an RNG draw
+// (RDRAND) — the ops Config.DelaySpeculative holds at issue.
+func transmitCapable(op isa.Op) bool {
+	return op.IsLoad() || op == isa.OpDiv || op == isa.OpFDiv || op == isa.OpRdrand
+}
+
+// nonSpeculative reports whether e is no longer speculative: every
+// older entry in the context's ROB has completed. A completed older
+// branch has already acted on any misprediction (the complete stage
+// squashes before issue sees the survivor), so completion of all elders
+// means no older control or fault hazard can flush e.
+func (ctx *Context) nonSpeculative(e *pipeline.Entry) bool {
+	for _, o := range ctx.rob.Entries() {
+		if o.Seq >= e.Seq {
+			return true
+		}
+		if o.State != pipeline.StateCompleted {
+			return false
+		}
+	}
+	return true
+}
+
 // tryIssueEntry attempts to start executing e, reporting success. On
 // failure it also returns the earliest cycle a retry could succeed
 // (neverCycle when only a wakeIssue event — retirement for a non-head
@@ -1072,6 +1126,17 @@ func (c *Core) tryIssueEntry(ctx *Context, e *pipeline.Entry) (bool, uint64) {
 	// measurements are well ordered.
 	if op == isa.OpRdtsc && ctx.rob.Head() != e {
 		return false, neverCycle // retirement pops the head and wakes us
+	}
+
+	// Sakalis-style selective delay (Config.DelaySpeculative): a
+	// transmit-capable op issues only once it is non-speculative, i.e.
+	// every older entry in the ROB has completed. The completion or
+	// retirement that changes its speculation status fires wakeIssue, so
+	// a held entry retries exactly when the answer can change; an older
+	// entry that faults instead squashes the held one with the rest of
+	// the pipeline.
+	if c.cfg.DelaySpeculative && transmitCapable(op) && !ctx.nonSpeculative(e) {
+		return false, neverCycle
 	}
 
 	// Optimistic memory disambiguation: a load forwards from the youngest

@@ -310,10 +310,14 @@ func (c *Core) memoSolo(ctx *Context) bool {
 // memoUsable gates all memo activity at a fault boundary. RunUntil
 // suspends the memo (a splice would jump over the caller's per-step
 // condition checks); an attached shadow tracker disables it (shadow
-// state is not captured in records).
+// state is not captured in records); an enabled Jamais Vu detector
+// disables it too — its per-PC squash counters are deliberately outside
+// the window fingerprint (see jamaisvu.go), so every fault delivery
+// must stay live for the counts to be exact.
 func (c *Core) memoUsable(ctx *Context) bool {
 	m := &c.memo
 	return m.enabled && c.inRun && c.memoSuspend == 0 && c.shadow == nil &&
+		c.cfg.SquashThreshold <= 0 &&
 		!ctx.inTx && ctx.as != nil && c.memoSolo(ctx)
 }
 
@@ -797,6 +801,7 @@ func statsDelta(a, b ContextStats) ContextStats {
 		MemOrderViolations: a.MemOrderViolations - b.MemOrderViolations,
 		StallCycles:        a.StallCycles - b.StallCycles,
 		SkippedCycles:      a.SkippedCycles - b.SkippedCycles,
+		ReplayAlarms:       a.ReplayAlarms - b.ReplayAlarms,
 	}
 }
 
@@ -810,4 +815,5 @@ func statsAdd(dst *ContextStats, d ContextStats) {
 	dst.MemOrderViolations += d.MemOrderViolations
 	dst.StallCycles += d.StallCycles
 	dst.SkippedCycles += d.SkippedCycles
+	dst.ReplayAlarms += d.ReplayAlarms
 }

@@ -140,7 +140,18 @@ type ContextSnap struct {
 
 	BP pipeline.PredictorSnap
 
+	// Jamais Vu detector state (Config.SquashThreshold); counts sorted
+	// by PC so the encoding is deterministic.
+	JVEpoch  uint64
+	JVCounts []JVCountSnap
+
 	Stats ContextStats
+}
+
+// JVCountSnap is one PC's fault-squash count in the Jamais Vu detector.
+type JVCountSnap struct {
+	PC    int
+	Count uint32
 }
 
 // CoreSnap is the serializable state of the whole core.
@@ -208,7 +219,15 @@ func snapContext(ctx *Context) (ContextSnap, error) {
 		NextCompleteAt:  ctx.nextCompleteAt,
 		IssueSleepUntil: ctx.issueSleepUntil,
 		BP:              ctx.bp.Snapshot(),
+		JVEpoch:         ctx.jvEpoch,
 		Stats:           ctx.stats,
+	}
+	if len(ctx.jvCounts) > 0 {
+		s.JVCounts = make([]JVCountSnap, 0, len(ctx.jvCounts))
+		for pc, n := range ctx.jvCounts {
+			s.JVCounts = append(s.JVCounts, JVCountSnap{PC: pc, Count: n})
+		}
+		sort.Slice(s.JVCounts, func(i, j int) bool { return s.JVCounts[i].PC < s.JVCounts[j].PC })
 	}
 	if ctx.prog != nil {
 		s.HasProg = true
@@ -360,6 +379,15 @@ func restoreContext(ctx *Context, s ContextSnap) error {
 		}
 	} else {
 		ctx.txWriteSet = nil
+	}
+	ctx.jvEpoch = s.JVEpoch
+	if len(s.JVCounts) > 0 {
+		ctx.jvCounts = make(map[int]uint32, len(s.JVCounts))
+		for _, jc := range s.JVCounts {
+			ctx.jvCounts[jc.PC] = jc.Count
+		}
+	} else {
+		ctx.jvCounts = nil
 	}
 	ctx.stats = s.Stats
 

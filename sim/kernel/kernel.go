@@ -112,6 +112,11 @@ type Kernel struct {
 	swap      map[swapKey][]byte
 	evictions uint64
 	swapIns   uint64
+
+	// Replay countermeasures (see leash.go). Host-side wiring like
+	// hooks: not serialized by snapshots.
+	leash *leash
+	simf  map[int]uint64 // PID -> multi-flush count
 }
 
 // New boots a kernel over the given physical memory and core.
@@ -217,7 +222,11 @@ func (k *Kernel) FaultLog() []FaultRecord { return append([]FaultRecord(nil), k.
 // ClearFaultLog resets the log.
 func (k *Kernel) ClearFaultLog() { k.faultLog = k.faultLog[:0] }
 
-// HandlePageFault implements cpu.FaultHandler: steps 2-7 of Figure 9.
+// HandlePageFault implements cpu.FaultHandler: steps 2-7 of Figure 9,
+// bracketed by the replay countermeasures of leash.go. SIMF's
+// multi-flush runs at fault entry — the protected victim's exception
+// path executes before any untrusted handler or module probe — and
+// LEASH's deschedule penalty is added to the outcome on the way out.
 func (k *Kernel) HandlePageFault(f cpu.PageFault) cpu.FaultOutcome {
 	proc, ok := k.running[f.Context]
 	if !ok {
@@ -235,7 +244,18 @@ func (k *Kernel) HandlePageFault(f cpu.PageFault) cpu.FaultOutcome {
 		Cycle: k.core.Cycle(),
 		Minor: minor,
 	})
+	k.simfObserve(proc.PID, f.Context)
+	penalty := k.leashObserve(proc.PID, mem.PageNum(f.VA))
 
+	out := k.dispatchFault(proc, f, minor)
+	if !out.Terminate {
+		out.HandlerLatency += penalty
+	}
+	return out
+}
+
+// dispatchFault runs the trampoline and default handling for one fault.
+func (k *Kernel) dispatchFault(proc *Process, f cpu.PageFault, minor bool) cpu.FaultOutcome {
 	// Step 4: trampoline into registered modules (MicroScope).
 	for _, h := range k.hooks {
 		if h == nil {

@@ -1,0 +1,167 @@
+package kernel
+
+// OS-level replay countermeasures: LEASH-style reactive throttling and
+// SIMF-style multi-flush, both hooked into the page-fault path.
+//
+// LEASH (arXiv 2109.03998): the scheduler watches each process's fault
+// arrivals; a burst of faults on the same virtual page inside a short
+// window is the replay signature (the victim re-faults on the armed
+// handle page at handler-return cadence, while benign demand paging
+// faults once per page). A tripped process is deprioritized: every
+// subsequent fault costs an extra deschedule penalty, throttling the
+// attacker's replay rate without blocking legitimate progress.
+//
+// SIMF (arXiv 2011.10249): a protected victim invokes a single
+// multi-flush instruction on its exception path, scrubbing cache, TLB,
+// page-walk-cache and branch-predictor state before control reaches the
+// untrusted handler — so a MicroScope module probing from the handler
+// sees cold structures. The simulation invokes cpu.Core.FlushMicroarch
+// at fault entry, modelling the enclave's AEX path running before the
+// OS. It is prevention, not detection: faults (and the replay loop)
+// proceed, but each window's microarchitectural footprint is erased
+// before the attacker can read it.
+//
+// Neither defense's state is serialized by kernel snapshots (like fault
+// hooks, it is host-side wiring): re-enable after a restore. The
+// tournament installs defenses after forking each trial rig, so forked
+// sweeps never depend on it.
+
+// LeashConfig parameterizes the LEASH fault-burst detector.
+type LeashConfig struct {
+	// Window is the burst window in cycles: only faults this recent
+	// count toward a trip.
+	Window uint64
+	// Faults is the trip threshold: this many faults on one virtual
+	// page inside Window flags the process.
+	Faults int
+	// Penalty is the extra handler latency, in cycles, every fault of a
+	// flagged process pays (the scheduler deprioritization).
+	Penalty uint64
+}
+
+// DefaultLeashConfig returns the tournament's baseline: six same-page
+// faults inside 200k cycles trips; each subsequent fault costs an extra
+// 25k-cycle deschedule.
+func DefaultLeashConfig() LeashConfig {
+	return LeashConfig{Window: 200_000, Faults: 6, Penalty: 25_000}
+}
+
+// leashProc is one process's detector state.
+type leashProc struct {
+	// byVPN holds recent fault cycles per virtual page, newest last,
+	// at most cfg.Faults entries per page.
+	byVPN      map[uint64][]uint64
+	tripped    bool
+	trippedVPN uint64
+	throttled  uint64 // faults penalized since the trip
+}
+
+type leash struct {
+	cfg   LeashConfig
+	procs map[int]*leashProc
+}
+
+// EnableLeash turns on LEASH-style reactive throttling for every
+// process. Zero-valued fields of cfg fall back to DefaultLeashConfig.
+func (k *Kernel) EnableLeash(cfg LeashConfig) {
+	def := DefaultLeashConfig()
+	if cfg.Window == 0 {
+		cfg.Window = def.Window
+	}
+	if cfg.Faults <= 0 {
+		cfg.Faults = def.Faults
+	}
+	if cfg.Penalty == 0 {
+		cfg.Penalty = def.Penalty
+	}
+	k.leash = &leash{cfg: cfg, procs: make(map[int]*leashProc)}
+}
+
+// LeashStatus reports whether the process tripped the fault-burst
+// detector and how many of its faults have been throttled since.
+func (k *Kernel) LeashStatus(pid int) (tripped bool, throttled uint64) {
+	if k.leash == nil {
+		return false, 0
+	}
+	st, ok := k.leash.procs[pid]
+	if !ok {
+		return false, 0
+	}
+	return st.tripped, st.throttled
+}
+
+// leashObserve records one fault arrival and returns the extra handler
+// latency the scheduler imposes on it (zero until the process trips).
+func (k *Kernel) leashObserve(pid int, vpn uint64) uint64 {
+	l := k.leash
+	if l == nil {
+		return 0
+	}
+	st, ok := l.procs[pid]
+	if !ok {
+		st = &leashProc{byVPN: make(map[uint64][]uint64)}
+		l.procs[pid] = st
+	}
+	now := k.core.Cycle()
+	if !st.tripped {
+		ring := st.byVPN[vpn]
+		ring = append(ring, now)
+		if len(ring) > l.cfg.Faults {
+			ring = ring[len(ring)-l.cfg.Faults:]
+		}
+		st.byVPN[vpn] = ring
+		recent := 0
+		for _, c := range ring {
+			if c+l.cfg.Window > now {
+				recent++
+			}
+		}
+		if recent >= l.cfg.Faults {
+			st.tripped = true
+			st.trippedVPN = vpn
+		}
+	}
+	if st.tripped {
+		st.throttled++
+		return l.cfg.Penalty
+	}
+	return 0
+}
+
+// ResetCountermeasures removes all LEASH and SIMF wiring. A restored
+// kernel keeps whatever countermeasures the live kernel had (snapshots
+// do not serialize them); sweeps that reuse one rig for runs with
+// different defenses call this after each restore so a previous run's
+// throttle state cannot leak into the next.
+func (k *Kernel) ResetCountermeasures() {
+	k.leash = nil
+	k.simf = nil
+}
+
+// EnableSIMF marks the process SIMF-protected: every fault it takes
+// scrubs the microarchitectural structures (cpu.Core.FlushMicroarch)
+// before the handler — and any module hooked into it — runs.
+func (k *Kernel) EnableSIMF(p *Process) {
+	if k.simf == nil {
+		k.simf = make(map[int]uint64)
+	}
+	k.simf[p.PID] = 0
+}
+
+// SIMFFlushes returns how many multi-flushes the process has executed
+// (one per delivered fault while protected).
+func (k *Kernel) SIMFFlushes(pid int) uint64 {
+	return k.simf[pid]
+}
+
+// simfObserve runs the protected process's multi-flush on fault entry.
+func (k *Kernel) simfObserve(pid int, ctxID int) {
+	if k.simf == nil {
+		return
+	}
+	if _, ok := k.simf[pid]; !ok {
+		return
+	}
+	k.core.FlushMicroarch(ctxID)
+	k.simf[pid]++
+}

@@ -27,8 +27,9 @@ import (
 
 // Version is the snapshot format version. Bump it when any Snap struct
 // changes shape; Decode rejects mismatched versions instead of silently
-// mis-restoring state.
-const Version = 1
+// mis-restoring state. Version 2 added the Jamais Vu detector state to
+// cpu.ContextSnap (JVEpoch/JVCounts, PR 9).
+const Version = 2
 
 // RecipeState is the serializable state of one attack recipe. The
 // victim is identified by PID (process pointers are re-resolved against
