@@ -13,10 +13,13 @@ import (
 )
 
 // Life is one dynamic instruction's trip through the pipeline. Zero cycle
-// values mean the stage was never reached.
+// values mean the stage was never reached. Seq is the core's global
+// dispatch sequence number (zero until the instruction dispatches), used
+// to decide which lives a squash event kills.
 type Life struct {
 	Context  int
 	PC       int
+	Seq      uint64
 	Instr    string
 	Fetch    uint64
 	Issue    uint64
@@ -51,6 +54,7 @@ func (c *Collector) Trace(ev cpu.Event) {
 		c.lives = append(c.lives, Life{
 			Context: ev.Context,
 			PC:      ev.PC,
+			Seq:     ev.Seq,
 			Instr:   ev.Instr.String(),
 			Fetch:   ev.Cycle,
 		})
@@ -73,6 +77,47 @@ func (c *Collector) Trace(ev cpu.Event) {
 			c.lives[i].Faulted = true
 			c.close(key, i)
 		}
+		// The core flushes the whole context before delivering the
+		// fault: every other in-flight life dies squashed.
+		c.squashOpen(ev.Context, func(*Life) bool { return true })
+	case cpu.EvSquash:
+		// One event names the squashing instruction; everything
+		// strictly younger dies. Seq 0 is a whole-pipeline flush
+		// (preempt).
+		if ev.Seq == 0 {
+			c.squashOpen(ev.Context, func(*Life) bool { return true })
+		} else {
+			c.squashOpen(ev.Context, func(l *Life) bool { return l.Seq > ev.Seq })
+		}
+	case cpu.EvTxAbort:
+		// A transaction abort flushes the context without a fault —
+		// the TSX replay handle. Lives die squashed at abort time so
+		// tx-based replay windows are visible without Finalize.
+		c.squashOpen(ev.Context, func(*Life) bool { return true })
+	}
+}
+
+// squashOpen marks every open life of the context matching keep as
+// squashed and closes it. The fate write is order-independent, so the
+// map iteration order of c.open is unobservable in the output.
+func (c *Collector) squashOpen(context int, match func(*Life) bool) {
+	for key, idxs := range c.open {
+		if key[0] != context {
+			continue
+		}
+		kept := idxs[:0]
+		for _, i := range idxs {
+			if match(&c.lives[i]) {
+				c.lives[i].Squashed = true
+				continue
+			}
+			kept = append(kept, i)
+		}
+		if len(kept) == 0 {
+			delete(c.open, key)
+			continue
+		}
+		c.open[key] = kept
 	}
 }
 

@@ -121,6 +121,80 @@ func TestWindowsSplitAtFaults(t *testing.T) {
 	}
 }
 
+func TestSquashEventKillsYoungerLives(t *testing.T) {
+	// A mispredict-style EvSquash names the surviving instruction's Seq;
+	// strictly younger in-flight lives die at event time, without
+	// Finalize.
+	c := NewCollector(0)
+	c.Trace(cpu.Event{Cycle: 1, Kind: cpu.EvFetch, PC: 0, Seq: 1})
+	c.Trace(cpu.Event{Cycle: 2, Kind: cpu.EvFetch, PC: 1, Seq: 2})
+	c.Trace(cpu.Event{Cycle: 3, Kind: cpu.EvFetch, PC: 2, Seq: 3})
+	c.Trace(cpu.Event{Cycle: 4, Kind: cpu.EvSquash, PC: 0, Seq: 1})
+
+	lives := c.Lives()
+	if lives[0].Squashed {
+		t.Errorf("squashing instruction (seq 1) must survive: %+v", lives[0])
+	}
+	if !lives[1].Squashed || !lives[2].Squashed {
+		t.Errorf("younger lives not squashed at event time: %+v %+v", lives[1], lives[2])
+	}
+
+	// The survivor can still retire afterwards.
+	c.Trace(cpu.Event{Cycle: 5, Kind: cpu.EvRetire, PC: 0})
+	if got := c.Lives()[0]; got.Retire != 5 || got.Squashed {
+		t.Errorf("survivor did not retire cleanly: %+v", got)
+	}
+}
+
+func TestSeqZeroSquashFlushesContext(t *testing.T) {
+	// A preempt squash carries no Seq: the whole context flushes. Other
+	// contexts are untouched.
+	c := NewCollector(0)
+	c.Trace(cpu.Event{Cycle: 1, Context: 0, Kind: cpu.EvFetch, PC: 0, Seq: 1})
+	c.Trace(cpu.Event{Cycle: 2, Context: 0, Kind: cpu.EvFetch, PC: 1, Seq: 2})
+	c.Trace(cpu.Event{Cycle: 3, Context: 1, Kind: cpu.EvFetch, PC: 0, Seq: 3})
+	c.Trace(cpu.Event{Cycle: 4, Context: 0, Kind: cpu.EvSquash, PC: 1, Detail: "preempt"})
+
+	lives := c.Lives()
+	if !lives[0].Squashed || !lives[1].Squashed {
+		t.Errorf("context 0 not flushed: %+v %+v", lives[0], lives[1])
+	}
+	if lives[2].Squashed {
+		t.Errorf("context 1 flushed by context 0's preempt: %+v", lives[2])
+	}
+}
+
+func TestTxAbortFlushesContext(t *testing.T) {
+	c := NewCollector(0)
+	c.Trace(cpu.Event{Cycle: 1, Kind: cpu.EvFetch, PC: 0, Seq: 1})
+	c.Trace(cpu.Event{Cycle: 2, Kind: cpu.EvFetch, PC: 1, Seq: 2})
+	c.Trace(cpu.Event{Cycle: 3, Kind: cpu.EvTxAbort, PC: 1, Detail: "conflict"})
+
+	for i, l := range c.Lives() {
+		if !l.Squashed {
+			t.Errorf("life %d survived tx abort: %+v", i, l)
+		}
+	}
+}
+
+func TestFaultFlushesRemainingInFlight(t *testing.T) {
+	// The core flushes the pipeline before delivering a fault: the
+	// faulting life closes Faulted, everything else in flight dies
+	// squashed at fault time (not only at Finalize).
+	c := NewCollector(0)
+	c.Trace(cpu.Event{Cycle: 1, Kind: cpu.EvFetch, PC: 0, Seq: 1})
+	c.Trace(cpu.Event{Cycle: 2, Kind: cpu.EvFetch, PC: 1, Seq: 2})
+	c.Trace(cpu.Event{Cycle: 3, Kind: cpu.EvFault, PC: 0, Seq: 1})
+
+	lives := c.Lives()
+	if !lives[0].Faulted || lives[0].Squashed {
+		t.Errorf("faulting life wrong fate: %+v", lives[0])
+	}
+	if !lives[1].Squashed {
+		t.Errorf("in-flight life not squashed by fault: %+v", lives[1])
+	}
+}
+
 func TestCollectorLimit(t *testing.T) {
 	c := NewCollector(2)
 	for pc := 0; pc < 5; pc++ {

@@ -69,7 +69,10 @@ func (v Verdict) String() string {
 		return "PROVEN-SAFE"
 	case Leaky:
 		return "LEAKY"
+	case Unknown:
+		return "UNKNOWN"
 	}
+	// Out-of-range values (a corrupted report) read as the weakest claim.
 	return "UNKNOWN"
 }
 

@@ -106,9 +106,9 @@ func (r *Recipe) TotalFaults() int { return r.totalFaults }
 // Module is the MicroScope kernel module.
 type Module struct {
 	k          *kernel.Kernel
-	core       *cpu.Core
+	core       *cpu.Core //simlint:snapexempt host wiring: the module snapshots recipe state only; Restore re-arms hooks through the live k/core it already holds
 	recipes    []*Recipe
-	unregister func()
+	unregister func() //simlint:snapexempt host wiring: hook-removal closure, recreated when Restore re-registers the fault hook
 	timeline   []TimelineEvent
 
 	// Handler-decision record log (see snapshot.go).

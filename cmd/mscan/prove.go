@@ -72,6 +72,9 @@ func runProve(o options, out io.Writer) (int, error) {
 			return exitLeaky, nil
 		case verify.Unknown:
 			return exitUnknown, nil
+		case verify.ProvenSafe:
+			// Falls through to exitOK: a proof of safety is the one
+			// verdict -fail accepts.
 		}
 	}
 	return exitOK, nil

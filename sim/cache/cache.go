@@ -82,13 +82,13 @@ type Cache struct {
 	lruClock  uint64
 	hits      uint64
 	misses    uint64
-	lineShift uint
-	setMask   uint64
+	lineShift uint   //simlint:snapexempt derived geometry: recomputed from cfg by New; snapshots restore into a same-config cache
+	setMask   uint64 //simlint:snapexempt derived geometry: recomputed from cfg by New; snapshots restore into a same-config cache
 
 	// Replay-memo recording hooks (nil when no recording is active; see
 	// memo.go).
-	onTouch func(set int)
-	onInval func()
+	onTouch func(set int) //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	onInval func()        //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
 }
 
 // New builds a cache from cfg, panicking on invalid configuration (caches

@@ -25,7 +25,7 @@ func DefaultHierarchyConfig() HierarchyConfig {
 // SMT contexts of a core (as on real hardware), so victim fills are visible
 // to the attacker's probes.
 type Hierarchy struct {
-	cfg HierarchyConfig
+	cfg HierarchyConfig //simlint:snapexempt construction parameter: snapshots restore into a hierarchy built from the same config (geometry mismatch is a caller error)
 	l1d *Cache
 	l1i *Cache
 	l2  *Cache

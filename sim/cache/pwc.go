@@ -22,9 +22,9 @@ type PWC struct {
 	misses   uint64
 
 	// Replay-memo recording hooks and splice scratch (see memo.go).
-	onTouch      func()
-	onInval      func()
-	applyScratch []pwcEntry
+	onTouch      func()     //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	onInval      func()     //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	applyScratch []pwcEntry //simlint:snapexempt transient scratch: dead outside a single splice apply, holds no machine state
 }
 
 type pwcEntry struct {

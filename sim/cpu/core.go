@@ -147,8 +147,8 @@ type Core struct {
 	// skipped counts cycles fast-forwarded over (see Config.FastForward).
 	skipped uint64
 
-	faultHandler FaultHandler
-	tracer       Tracer
+	faultHandler FaultHandler //simlint:snapexempt host wiring: handlers are host closures, re-registered by the owner after a restore (see snapshot.go doc)
+	tracer       Tracer       //simlint:snapexempt host wiring: tracers are host observers, re-registered by the owner after a restore
 	shadow       ShadowTracker
 
 	rngState    uint64
@@ -167,9 +167,9 @@ type Core struct {
 	// between steps; memoSuspend disables the memo during RunUntil, whose
 	// per-step condition a splice would jump over.
 	memo         memoState
-	inRun        bool
-	runBudgetEnd uint64
-	memoSuspend  int
+	inRun        bool   //simlint:snapexempt transient run-loop state: always false between runs, and snapshots are only taken between runs
+	runBudgetEnd uint64 //simlint:snapexempt transient run-loop state: meaningful only while inRun, which snapshots never observe set
+	memoSuspend  int    //simlint:snapexempt transient run-loop state: RunUntil balance counter, always zero between runs
 }
 
 // NewCore builds a core over the given physical memory.
@@ -733,6 +733,8 @@ func (c *Core) trackTxWrite(ctx *Context, pa mem.Addr) {
 // EvictLine flushes a physical line from the cache hierarchy AND aborts
 // any transaction whose write set contains it — the attacker-controlled
 // TSX abort trigger of §7.1. It reports whether a transaction aborted.
+//
+//simlint:memoexempt writes fetchHalted via squash helpers; the flag is folded into every memo fingerprint, so the write forces a miss
 func (c *Core) EvictLine(pa mem.Addr) bool {
 	c.hier.FlushAddr(pa)
 	line := pa &^ 63
@@ -774,6 +776,8 @@ func (c *Core) abortTx(ctx *Context, reason string) {
 // instruction. This is the timer-interrupt primitive SGX-Step-style
 // attacks [57] use to single-step a victim — one of the noisy baselines
 // of Table 1.
+//
+//simlint:memoexempt writes fetchPC/fetchHalted/serialize/stallUntil, all folded into every memo fingerprint, so a preempt forces a miss
 func (c *Core) Preempt(ctxID int, handlerLatency uint64) {
 	ctx := c.contexts[ctxID]
 	if ctx.inTx {
@@ -801,6 +805,8 @@ func (c *Core) Preempt(ctxID int, handlerLatency uint64) {
 // AbortTx aborts the context's transaction from outside the pipeline
 // (attacker-induced: write-set eviction, interrupt, ...). It reports
 // whether a transaction was active.
+//
+//simlint:memoexempt writes fetchPC/fetchHalted via the abort path, both folded into every memo fingerprint, so an abort forces a miss
 func (c *Core) AbortTx(ctxID int, reason string) bool {
 	ctx := c.contexts[ctxID]
 	if !ctx.inTx {

@@ -96,13 +96,13 @@ type FaultRecord struct {
 
 // Kernel is the simulated OS.
 type Kernel struct {
-	cfg   Config
+	cfg   Config //simlint:snapexempt construction parameter: snapshots restore into a kernel built from the same config
 	phys  *mem.PhysMem
 	core  *cpu.Core
 	procs map[int]*Process
 	// running maps SMT context id -> process.
 	running  map[int]*Process
-	hooks    []FaultHook
+	hooks    []FaultHook //simlint:snapexempt host wiring: fault hooks are host closures, re-registered after restore (see snapshot.go doc)
 	nextPID  int
 	nextPCID uint16
 

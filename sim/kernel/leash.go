@@ -21,10 +21,11 @@ package kernel
 // proceed, but each window's microarchitectural footprint is erased
 // before the attacker can read it.
 //
-// Neither defense's state is serialized by kernel snapshots (like fault
-// hooks, it is host-side wiring): re-enable after a restore. The
-// tournament installs defenses after forking each trial rig, so forked
-// sweeps never depend on it.
+// Both defenses' state rides kernel snapshots (KernelSnap.Leash/SIMF):
+// a checkpoint of a defended run restores with its throttle counters
+// and flush counts intact, so a tripped process stays tripped. Rigs
+// reused across runs with different defenses call
+// ResetCountermeasures after each restore instead.
 
 // LeashConfig parameterizes the LEASH fault-burst detector.
 type LeashConfig struct {
@@ -128,11 +129,11 @@ func (k *Kernel) leashObserve(pid int, vpn uint64) uint64 {
 	return 0
 }
 
-// ResetCountermeasures removes all LEASH and SIMF wiring. A restored
-// kernel keeps whatever countermeasures the live kernel had (snapshots
-// do not serialize them); sweeps that reuse one rig for runs with
-// different defenses call this after each restore so a previous run's
-// throttle state cannot leak into the next.
+// ResetCountermeasures removes all LEASH and SIMF wiring. Snapshots
+// serialize countermeasure state, so a restore brings back whatever the
+// checkpointed kernel was running; sweeps that reuse one rig for runs
+// with different defenses call this after each restore so the restored
+// configuration cannot leak into the next trial.
 func (k *Kernel) ResetCountermeasures() {
 	k.leash = nil
 	k.simf = nil

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"bytes"
+	"encoding/gob"
 	"testing"
 
 	"microscope/sim/cache"
@@ -133,6 +135,83 @@ func TestLeashWindowExpires(t *testing.T) {
 	runReplayVictim(t, r, base)
 	if tripped, _ := r.k.LeashStatus(p.PID); tripped {
 		t.Error("LEASH tripped despite faults spaced beyond the window")
+	}
+}
+
+// TestCountermeasureStateRidesSnapshots: a checkpoint of a defended
+// run must carry the LEASH throttle counters and SIMF flush counts — a
+// restored process that tripped the detector stays tripped, instead of
+// silently replaying at full rate (the bug the snapcover analyzer
+// flagged on Kernel.leash/Kernel.simf).
+func TestCountermeasureStateRidesSnapshots(t *testing.T) {
+	r, p, base := replayRig(t, 9)
+	r.k.EnableLeash(LeashConfig{Window: 100_000, Faults: 4, Penalty: 20_000})
+	r.k.EnableSIMF(p)
+	runReplayVictim(t, r, base)
+
+	tripped, throttled := r.k.LeashStatus(p.PID)
+	if !tripped || throttled == 0 {
+		t.Fatalf("precondition: tripped=%v throttled=%d", tripped, throttled)
+	}
+	flushes := r.k.SIMFFlushes(p.PID)
+	if flushes == 0 {
+		t.Fatal("precondition: no SIMF flushes recorded")
+	}
+
+	snap := r.k.Snapshot()
+	if !snap.LeashOn || !snap.SIMFOn {
+		t.Fatalf("snapshot dropped defense enablement: %+v", snap)
+	}
+
+	// Wipe the live countermeasure state, then restore: every counter
+	// must come back exactly.
+	r.k.ResetCountermeasures()
+	if tr, _ := r.k.LeashStatus(p.PID); tr {
+		t.Fatal("ResetCountermeasures left the trip flag set")
+	}
+	if err := r.k.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if tr, th := r.k.LeashStatus(p.PID); !tr || th != throttled {
+		t.Errorf("restored LEASH state = (%v, %d), want (true, %d)", tr, th, throttled)
+	}
+	if got := r.k.SIMFFlushes(p.PID); got != flushes {
+		t.Errorf("restored SIMFFlushes = %d, want %d", got, flushes)
+	}
+
+	// Determinism: two snapshots of identical state must gob-encode
+	// byte-identically (maps are flattened sorted), the property the
+	// golden tests and tools/snapdiff rely on.
+	enc := func(s *KernelSnap) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(enc(r.k.Snapshot()), enc(r.k.Snapshot())) {
+		t.Error("countermeasure snapshot encoding is not deterministic")
+	}
+}
+
+// TestRestoreDisablesAbsentCountermeasures: restoring an undefended
+// checkpoint over a defended kernel turns the defenses off — restore
+// means "become the checkpointed machine", not a merge.
+func TestRestoreDisablesAbsentCountermeasures(t *testing.T) {
+	r, p, base := replayRig(t, 2)
+	runReplayVictim(t, r, base)
+	snap := r.k.Snapshot()
+	if snap.LeashOn || snap.SIMFOn || snap.Leash != nil || snap.SIMF != nil {
+		t.Fatalf("undefended snapshot carries defense state: %+v", snap)
+	}
+
+	r.k.EnableLeash(LeashConfig{})
+	r.k.EnableSIMF(p)
+	if err := r.k.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if r.k.leash != nil || r.k.simf != nil {
+		t.Error("restore kept defenses the checkpoint did not carry")
 	}
 }
 

@@ -17,7 +17,9 @@ import (
 // restore, previously registered hooks remain registered (in-place
 // restore) or must be re-registered by the caller (restore into a fresh
 // kernel). The MicroScope module re-arms its own hook when its recipe
-// state is restored.
+// state is restored. Countermeasure state (LEASH throttle counters,
+// SIMF flush counts) IS serialized — it is simulated-machine state, not
+// wiring, and a defended run's checkpoint must resume bit-identically.
 
 // ProcessSnap is one serializable process table entry.
 type ProcessSnap struct {
@@ -42,6 +44,27 @@ type SwapSnap struct {
 	Data []byte
 }
 
+// LeashPageSnap is one page's recent-fault ring in the LEASH detector.
+type LeashPageSnap struct {
+	VPN    uint64
+	Cycles []uint64
+}
+
+// LeashProcSnap is one process's LEASH detector state.
+type LeashProcSnap struct {
+	PID        int
+	Pages      []LeashPageSnap // sorted by VPN
+	Tripped    bool
+	TrippedVPN uint64
+	Throttled  uint64
+}
+
+// SIMFSnap is one SIMF-protected process's flush counter.
+type SIMFSnap struct {
+	PID     int
+	Flushes uint64
+}
+
 // KernelSnap is the serializable state of the kernel.
 type KernelSnap struct {
 	Procs    []ProcessSnap  // sorted by PID
@@ -52,6 +75,16 @@ type KernelSnap struct {
 	Swap     []SwapSnap // sorted by (PID, VPN)
 	Evict    uint64
 	SwapIns  uint64
+
+	// Countermeasure state (PR 10): a checkpoint of a defended run must
+	// carry the LEASH throttle counters and SIMF flush counts, or the
+	// restored run diverges from the original — a tripped process would
+	// come back untripped and replay at full rate.
+	LeashOn  bool
+	LeashCfg LeashConfig
+	Leash    []LeashProcSnap // sorted by PID
+	SIMFOn   bool
+	SIMF     []SIMFSnap // sorted by PID
 }
 
 // Snapshot captures the kernel's state.
@@ -87,6 +120,34 @@ func (k *Kernel) Snapshot() *KernelSnap {
 		}
 		return s.Swap[i].VPN < s.Swap[j].VPN
 	})
+	if k.leash != nil {
+		s.LeashOn = true
+		s.LeashCfg = k.leash.cfg
+		for pid, st := range k.leash.procs {
+			ps := LeashProcSnap{
+				PID:        pid,
+				Tripped:    st.tripped,
+				TrippedVPN: st.trippedVPN,
+				Throttled:  st.throttled,
+			}
+			for vpn, ring := range st.byVPN {
+				ps.Pages = append(ps.Pages, LeashPageSnap{
+					VPN:    vpn,
+					Cycles: append([]uint64(nil), ring...),
+				})
+			}
+			sort.Slice(ps.Pages, func(i, j int) bool { return ps.Pages[i].VPN < ps.Pages[j].VPN })
+			s.Leash = append(s.Leash, ps)
+		}
+		sort.Slice(s.Leash, func(i, j int) bool { return s.Leash[i].PID < s.Leash[j].PID })
+	}
+	if k.simf != nil {
+		s.SIMFOn = true
+		for pid, flushes := range k.simf {
+			s.SIMF = append(s.SIMF, SIMFSnap{PID: pid, Flushes: flushes})
+		}
+		sort.Slice(s.SIMF, func(i, j int) bool { return s.SIMF[i].PID < s.SIMF[j].PID })
+	}
 	return s
 }
 
@@ -141,5 +202,28 @@ func (k *Kernel) Restore(s *KernelSnap) error {
 	}
 	k.evictions = s.Evict
 	k.swapIns = s.SwapIns
+	k.leash = nil
+	if s.LeashOn {
+		k.leash = &leash{cfg: s.LeashCfg, procs: make(map[int]*leashProc, len(s.Leash))}
+		for _, ps := range s.Leash {
+			st := &leashProc{
+				byVPN:      make(map[uint64][]uint64, len(ps.Pages)),
+				tripped:    ps.Tripped,
+				trippedVPN: ps.TrippedVPN,
+				throttled:  ps.Throttled,
+			}
+			for _, pg := range ps.Pages {
+				st.byVPN[pg.VPN] = append([]uint64(nil), pg.Cycles...)
+			}
+			k.leash.procs[ps.PID] = st
+		}
+	}
+	k.simf = nil
+	if s.SIMFOn {
+		k.simf = make(map[int]uint64, len(s.SIMF))
+		for _, sf := range s.SIMF {
+			k.simf[sf.PID] = sf.Flushes
+		}
+	}
 	return nil
 }

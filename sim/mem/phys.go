@@ -67,8 +67,8 @@ type PhysMem struct {
 	// Replay-memo recording hooks (nil when no recording is active):
 	// every access is reported as the 8-byte-aligned word(s) it covers,
 	// so the cpu memo's read/write sets are word-granular.
-	onRead  func(pa Addr)
-	onWrite func(pa Addr)
+	onRead  func(pa Addr) //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	onWrite func(pa Addr) //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
 }
 
 // SetMemoHooks installs the access-observation hooks (nil detaches).

@@ -7,7 +7,7 @@ package pipeline
 type Predictor struct {
 	counters []uint8 // 2-bit saturating, 0..3; >=2 predicts taken
 	btb      []btbEntry
-	mask     int
+	mask     int //simlint:snapexempt derived geometry: len(counters)-1, recomputed at construction; snapshots restore into a same-size predictor
 
 	// Statistics.
 	Lookups     uint64
@@ -15,8 +15,8 @@ type Predictor struct {
 
 	// Replay-memo recording hooks (nil when no recording is active; see
 	// memo.go).
-	onTouch func(idx int)
-	onInval func()
+	onTouch func(idx int) //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	onInval func()        //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
 }
 
 type btbEntry struct {

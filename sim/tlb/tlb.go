@@ -44,15 +44,15 @@ type way struct {
 type TLB struct {
 	name   string
 	sets   [][]way
-	nsets  uint64
+	nsets  uint64 //simlint:snapexempt derived geometry: len(sets), recomputed at construction; snapshots restore into a same-geometry TLB
 	clock  uint64
 	hits   uint64
 	misses uint64
 
 	// Replay-memo recording hooks (nil when no recording is active; see
 	// memo.go).
-	onTouch func(set int)
-	onInval func()
+	onTouch func(set int) //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
+	onInval func()        //simlint:snapexempt host wiring: memo recorder re-arms its hooks when recording restarts
 }
 
 // New returns a TLB with the given geometry; sets must be a power of two.

@@ -133,6 +133,7 @@ func ProjectTransient(events []cpu.Event) Projections {
 			p.CacheN++
 		}
 		if op == isa.OpDiv || op == isa.OpFDiv {
+			//simlint:enumexempt port-digest projection deliberately samples only the issue/complete edges of divides; other event kinds carry no port contention signal
 			switch ev.Kind {
 			case cpu.EvIssue:
 				issueCycle[k] = ev.Cycle

@@ -1,34 +1,20 @@
-// Command determlint is a vet tool enforcing the repository's
-// determinism contract: simulation and analysis code must produce
-// byte-identical output for identical inputs (ROADMAP "determinism"
-// invariant; the sweep runner and golden-output tests depend on it).
+// Command determlint is the deprecated single-analyzer predecessor of
+// tools/simlint. It remains as a thin wrapper so existing invocations
+// (`go vet -vettool=bin/determlint ./...`) keep working, but it now
+// runs simlint's determinism analyzer — the checks themselves moved to
+// tools/simlint/lint (determinism.go) unchanged.
 //
-// It flags, outside _test.go files:
-//
-//   - uses of the global math/rand source (rand.Intn, rand.Seed, ...);
-//   - time.Now;
-//   - range-over-map loops whose iteration order reaches output
-//     (append to an outer accumulator that is never sorted, direct
-//     prints or stream writes);
-//   - raw go statements outside the approved analysis/sweep worker
-//     pool (goroutine discipline: the pool joins results in
-//     deterministic input order, everything else must route through it).
-//
-// Run it through the vet driver:
-//
-//	go build -o bin/determlint ./tools/determlint
-//	go vet -vettool=bin/determlint ./sim/... ./analysis/... ./attack/... ./cmd/... ./tools/...
-//
-// The tool speaks the cmd/go vet-tool protocol (-V=full handshake,
-// -flags enumeration, then one invocation per package with a vet.cfg
-// file) using only the standard library — the x/tools unitchecker
-// framework is deliberately not a dependency.
+// Deprecated: build tools/simlint instead; it runs the determinism
+// checks plus the snapshot-coverage, memo-invalidation, enum-totality
+// and hook-completeness analyzers. See docs/static-analysis.md.
 package main
 
 import (
 	"fmt"
 	"os"
 	"strings"
+
+	"microscope/tools/simlint/lint"
 )
 
 func main() {
@@ -37,12 +23,13 @@ func main() {
 	case len(args) == 1 && strings.HasPrefix(args[0], "-V"):
 		// Build-ID handshake: cmd/go fingerprints the tool for its
 		// action cache.
-		printVersion()
+		lint.PrintVersion("determlint")
 	case len(args) == 1 && args[0] == "-flags":
-		// cmd/go asks which analyzer flags we accept: none.
+		// cmd/go asks which analyzer flags we accept: none — the
+		// wrapper is pinned to the determinism analyzer.
 		fmt.Println("[]")
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		diags, err := runUnit(args[0])
+		diags, err := lint.RunUnit(args[0], []*lint.Analyzer{lint.ByName("determinism")})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "determlint:", err)
 			os.Exit(1)
@@ -52,7 +39,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr,
-			"determlint is a vet tool; run via: go vet -vettool=$(go env GOPATH)/bin/determlint ./...")
+			"determlint is deprecated; use tools/simlint (go vet -vettool=bin/simlint ./...)")
 		os.Exit(64)
 	}
 }

@@ -1,16 +1,8 @@
-package main
+package lint
 
-import (
-	"fmt"
-	"go/ast"
-	"go/token"
-	"go/types"
-	"sort"
-	"strings"
-)
-
-// The checks. All four target the same property: a simulation or
-// analysis run with fixed inputs must produce byte-identical output.
+// The determinism analyzer: simulation and analysis code must produce
+// byte-identical output for identical inputs. Ported verbatim from the
+// original tools/determlint (PR 2), now one analyzer among five.
 //
 //   - globalrand: package-level math/rand functions draw from the
 //     process-global source, whose sequence depends on everything else
@@ -28,40 +20,43 @@ import (
 //     per run. The one approved concurrency site is the analysis/sweep
 //     worker pool, which joins results in deterministic input order;
 //     everything else must route through it.
+//
+// This analyzer also validates the simlint directive grammar itself:
+// an unknown //simlint:<kind> comment silently disables nothing and
+// must be loud.
 
-// diagnostic is one finding, positioned for "file:line:col: msg" output.
-type diagnostic struct {
-	pos token.Pos
-	msg string
-}
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
 
 // goroutinePoolPkg is the one package allowed to start goroutines: its
 // worker pool joins results in deterministic input order, making the
 // scheduler's interleaving unobservable in the output.
 const goroutinePoolPkg = "microscope/analysis/sweep"
 
-// runChecks runs every check over a typechecked package and returns the
-// findings sorted by position. pkgPath is the package's import path
-// (the goroutine-discipline check exempts the approved worker pool).
-// Test files (suffix _test.go) are skipped: tests may use randomness
-// for input generation and goroutines for harness plumbing.
-func runChecks(fset *token.FileSet, files []*ast.File, info *types.Info, pkgPath string) []diagnostic {
-	var diags []diagnostic
-	report := func(pos token.Pos, format string, args ...interface{}) {
-		diags = append(diags, diagnostic{pos: pos, msg: fmt.Sprintf(format, args...)})
+func analyzerDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "byte-identical output for identical inputs: no global math/rand, time.Now, environment reads, map-order-dependent output, or undisciplined goroutines",
+		Run:  runDeterminism,
 	}
-	for _, f := range files {
-		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
-			continue
-		}
-		checkGlobalFuncs(f, info, report)
-		checkEnvDep(f, info, report)
-		checkMapOrder(f, info, report)
-		if pkgPath != goroutinePoolPkg {
+}
+
+func runDeterminism(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	report := reporter(&diags)
+	for _, f := range u.SourceFiles() {
+		checkGlobalFuncs(f, u.Info, report)
+		checkEnvDep(f, u.Info, report)
+		checkMapOrder(f, u.Info, report)
+		if u.PkgPath() != goroutinePoolPkg {
 			checkGoroutine(f, report)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].pos < diags[j].pos })
+	checkUnknownExemptKinds(u, report)
 	return diags
 }
 

@@ -1,0 +1,152 @@
+package lint
+
+// The enumtotal analyzer: switch totality over the repo's closed
+// enums. The side-channel taxonomy (sidechan.Channel), the sanitizer's
+// reconcile classes, the verifier's verdicts, trace fates and core
+// event kinds are closed sets: when a PR adds a value, every switch
+// that dispatches on the type must decide what the new value means —
+// silently falling off the end of a switch is how a new channel
+// escapes the digest, a new verdict prints as garbage, or a new event
+// kind vanishes from a collector. This generalizes the hand-rolled
+// taxonomy-totality tests into a static pass.
+//
+// A switch over a manifest enum (enumManifest) is accepted when it
+//   - covers every declared constant of the type (aliases count by
+//     value; the sentinel count constants are typed int and thus
+//     invisible), or
+//   - carries a default clause (an explicit decision about the
+//     remainder), or
+//   - carries //simlint:enumexempt <reason>.
+//
+// A switch with a non-constant case expression cannot be proved total
+// or partial and is skipped. Type switches are out of scope.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+func analyzerEnumtotal() *Analyzer {
+	return &Analyzer{
+		Name: "enumtotal",
+		Doc:  "switches over the repo's closed enums (enumManifest) must cover every declared constant, carry a default, or carry //simlint:enumexempt <reason>",
+		Run:  runEnumtotal,
+	}
+}
+
+func runEnumtotal(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	report := reporter(&diags)
+	ex := exemptionsFor(u, "enumexempt", report)
+
+	for _, f := range u.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, key := enumTagType(u, sw.Tag)
+			if named == nil || !enumManifest[key] {
+				return true
+			}
+			if exempted(u, ex, sw.Pos()) {
+				return true
+			}
+			checkEnumSwitch(u, sw, named, key, report)
+			return true
+		})
+	}
+	return diags
+}
+
+// enumTagType resolves a switch tag's type to a named type and its
+// manifest key "pkgpath.Name".
+func enumTagType(u *Unit, tag ast.Expr) (*types.Named, string) {
+	t := u.Info.TypeOf(tag)
+	if t == nil {
+		return nil, ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, ""
+	}
+	return named, obj.Pkg().Path() + "." + obj.Name()
+}
+
+func checkEnumSwitch(u *Unit, sw *ast.SwitchStmt, named *types.Named, key string,
+	report func(token.Pos, string, ...interface{})) {
+
+	// Declared constants of the type, from its defining package's scope.
+	// With gc export data only exported constants are visible, which is
+	// the full set for every manifest enum (the repo's enums export all
+	// values; sentinel counts are typed int).
+	declared := make(map[int64]string)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, exact := constant.Int64Val(c.Val())
+		if !exact {
+			continue
+		}
+		// Prefer the first name per value in scope order (sorted), so
+		// aliases report stably.
+		if _, seen := declared[v]; !seen {
+			declared[v] = name
+		}
+	}
+	if len(declared) == 0 {
+		return
+	}
+
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: the remainder is decided explicitly
+		}
+		for _, e := range cc.List {
+			tv, ok := u.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // non-constant case: totality is undecidable here
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for v, name := range declared {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	report(sw.Pos(),
+		"enum totality: switch over %s does not handle %s; add the missing case(s), a default clause deciding the remainder, or //simlint:enumexempt <reason>",
+		shortEnumName(key), strings.Join(missing, ", "))
+}
+
+// shortEnumName compresses "microscope/analysis/sidechan.Channel" to
+// "sidechan.Channel" for readable diagnostics.
+func shortEnumName(key string) string {
+	slash := strings.LastIndex(key, "/")
+	return key[slash+1:]
+}

@@ -1,0 +1,121 @@
+package lint
+
+// Machine-readable diagnostics (-json) and the -diff baseline mode.
+// CI gates on "no new findings" during incremental adoption: commit a
+// baseline (`simlint -json ./... > baseline.json`), then
+// `simlint -diff baseline.json current.json` exits 2 only for findings
+// absent from the baseline. Diff keys deliberately ignore line/column
+// — unrelated edits shift lines, and a finding that merely moved is
+// not a new finding.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// JSONDiagnostic is the serialized form of one finding.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts findings to their serialized form, with file paths
+// relative to root (module root) when possible, sorted.
+func ToJSON(fset *token.FileSet, root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) &&
+				rel != ".." && !hasDotDotPrefix(rel) {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  d.Msg,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// WriteJSON encodes findings as an indented JSON array. A clean run
+// writes [] (not null) so baselines are uniformly arrays.
+func WriteJSON(w io.Writer, diags []JSONDiagnostic) error {
+	if diags == nil {
+		diags = []JSONDiagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// ReadJSONFile loads a findings file written by WriteJSON.
+func ReadJSONFile(path string) ([]JSONDiagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []JSONDiagnostic
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return out, nil
+}
+
+// diffKey identifies a finding across line shifts.
+func diffKey(d JSONDiagnostic) string {
+	return d.Analyzer + "\x00" + d.File + "\x00" + d.Message
+}
+
+// Diff returns the findings in cur that do not appear in old (baseline
+// mode). Multiplicity counts: a file that grows a second identical
+// finding on another line is a new finding.
+func Diff(old, cur []JSONDiagnostic) []JSONDiagnostic {
+	budget := make(map[string]int, len(old))
+	for _, d := range old {
+		budget[diffKey(d)]++
+	}
+	var out []JSONDiagnostic
+	for _, d := range cur {
+		k := diffKey(d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || (len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator))
+}

@@ -1,0 +1,294 @@
+package lint
+
+// The standalone module loader: parse and typecheck packages of this
+// module without cmd/go in the loop. The vet protocol hands us export
+// data; standalone mode (bin/simlint ./sim/...), the live-tree tests
+// and the -diff baseline builder instead load module-internal imports
+// recursively from source, resolving the module path from go.mod and
+// the standard library through the source importer. Build-tagged
+// variant files (e.g. the statsdebug stats guards) are selected the
+// way a default `go build` would, via go/build/constraint, so the
+// loaded package matches what ships.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader loads and typechecks this module's packages from source.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod, e.g. "microscope"
+	ModRoot string // filesystem root of the module
+
+	// Overlay substitutes file contents by absolute path — the
+	// field-deletion acceptance test mutates sim/cpu/snapshot.go in
+	// memory and re-typechecks through this.
+	Overlay map[string]string
+
+	std  types.Importer
+	pkgs map[string]*Unit
+	// loading guards against import cycles (which go/types would also
+	// reject, but with a worse error).
+	loading map[string]bool
+}
+
+// NewLoader finds the module root at or above dir and reads the module
+// path from its go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModRoot: root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Unit),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Load typechecks the package with the given module-internal import
+// path (the module path itself or a sub-path) and returns its Unit.
+// Results are cached; a package is typechecked once per loader.
+func (l *Loader) Load(path string) (*Unit, error) {
+	if u, ok := l.pkgs[path]; ok {
+		return u, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.ModRoot
+	if path != l.ModPath {
+		rest, ok := strings.CutPrefix(path, l.ModPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("%s is not inside module %s", path, l.ModPath)
+		}
+		dir = filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+	}
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := newInfo()
+	tc := types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := tc.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	u := &Unit{Fset: l.Fset, Files: files, Info: info, Pkg: pkg, Path: path}
+	l.pkgs[path] = u
+	return u, nil
+}
+
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		u, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the non-test, default-build-selected Go files of one
+// directory, in name order for deterministic positions.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		var src interface{}
+		if l.Overlay != nil {
+			if text, ok := l.Overlay[full]; ok {
+				src = text
+			}
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildIncluded evaluates a file's //go:build constraint (if any) the
+// way a default build on this host would: GOOS/GOARCH/release tags
+// hold, custom tags (statsdebug, ...) do not.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		// Constraints must precede the package clause.
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the typechecker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
+}
+
+// ModulePackages returns the import paths of every package in the
+// module, found by walking the tree for directories with buildable Go
+// files (testdata, hidden and vendor-style dirs excluded), sorted.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "bin") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModRoot, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		if len(out) == 0 || out[len(out)-1] != path {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	// WalkDir may visit files of one dir non-contiguously across dirs;
+	// dedupe after sorting.
+	dedup := out[:0]
+	for i, p := range out {
+		if i == 0 || out[i-1] != p {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup, nil
+}
+
+// ExpandPatterns resolves CLI package patterns ("./sim/...", "./...",
+// "sim/cpu") against the module, returning import paths.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	all, err := l.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		switch {
+		case pat == "..." || pat == ".":
+			for _, p := range all {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := l.ModPath + "/" + strings.TrimSuffix(pat, "/...")
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
+			}
+		default:
+			add(l.ModPath + "/" + pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

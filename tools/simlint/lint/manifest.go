@@ -1,0 +1,98 @@
+package lint
+
+// The checked-in manifests. These are the analyzer inputs that cannot
+// be derived structurally from the package under analysis:
+//
+//   - memoManifest names the replay-memo fingerprint inputs, derived
+//     from sim/cpu/memo.go's memoFixedDigest (the manifest-sync test in
+//     manifest_test.go pins the two to each other);
+//   - enumManifest names the closed enums whose switches must be total;
+//   - hookManifest names the hook interfaces whose implementations must
+//     be complete.
+//
+// Each manifest carries permanent fixture entries (package paths
+// "memoinval", "enumtotal", "hookpair") so the want-comment fixtures
+// exercise the same manifest-driven lookup path as the live tree.
+
+// memoManifest maps a package path to its fingerprint-owning receiver
+// types and, per type, the fields folded into the replay memo's window
+// fingerprint. An exported method on one of these types that writes one
+// of these fields must call a memo invalidator (memoInvalidators) or
+// carry //simlint:memoexempt <reason>.
+//
+// The sim/cpu entry mirrors memoFixedDigest: per-context architectural
+// state (regs, fetchPC, serialize|fetchHalted, stallUntil, progEpoch,
+// the address space identity) and per-core stream state (cycle phase,
+// rngState, jitterCount, the timing config, the context roster). Cache,
+// TLB, page-walk-cache, predictor and physical-memory state are
+// deliberately absent: the memo reads them through lazy first-touch
+// probes that re-validate at splice time, so mutating them forces a
+// miss without any invalidation call.
+var memoManifest = map[string]map[string][]string{
+	"microscope/sim/cpu": {
+		"Core":    {"cycle", "rngState", "jitterCount", "cfg", "contexts"},
+		"Context": {"regs", "fetchPC", "serialize", "fetchHalted", "stallUntil", "progEpoch", "as"},
+	},
+	// Fixture package (testdata/src/memoinval).
+	"memoinval": {
+		"Machine": {"clock", "seed"},
+	},
+}
+
+// memoInvalidators maps a package path to the method/function names
+// that count as the memo-invalidation path. A manifest method is clean
+// if its same-package call closure reaches any of these.
+var memoInvalidators = map[string]map[string]bool{
+	"microscope/sim/cpu": {"MemoFlush": true, "memoAbortRecording": true},
+	"memoinval":          {"Flush": true},
+}
+
+// enumManifest names the closed enums ("pkgpath.TypeName") whose value
+// switches must be total: cover every declared constant of the type,
+// carry a default clause, or carry //simlint:enumexempt <reason>.
+// Sentinel count constants (NumChannels, NumEventKinds) are typed int,
+// not the enum type, so they are invisible here by construction.
+var enumManifest = map[string]bool{
+	"microscope/analysis/sidechan.Channel":    true,
+	"microscope/sim/sanitizer.ReconcileClass": true,
+	"microscope/sim/sanitizer.Role":           true,
+	"microscope/analysis/verify.Verdict":      true,
+	"microscope/sim/cpu.EventKind":            true,
+	"microscope/sim/trace.Fate":               true,
+	"microscope/analysis/static.Severity":     true,
+	// Fixture package (testdata/src/enumtotal).
+	"enumtotal.Kind": true,
+}
+
+// hookIface names one hook interface.
+type hookIface struct {
+	PkgPath string
+	Name    string
+}
+
+// hookManifest names the hook interfaces whose implementations must
+// handle the full hook set or delegate via embedding. A struct that
+// name-matches part of a hook set without satisfying the interface is
+// a wiring bug: the value silently fails the interface assertion (or
+// satisfies an older copy of the interface) instead of hooking.
+var hookManifest = []hookIface{
+	{"microscope/sim/cpu", "Tracer"},
+	{"microscope/sim/cpu", "ShadowTracker"},
+	{"microscope/sim/cpu", "FaultHandler"},
+	{"microscope/sim/kernel", "FaultHook"},
+	{"microscope/attack/defense", "Defense"},
+	// Fixture package (testdata/src/hookpair).
+	{"hookpair", "Hook"},
+}
+
+// hookCommonNames are method names too generic to identify an intended
+// hook implementation on their own: a lone Name() string must not drag
+// every named thing in the repo into the Defense hook set. A
+// single-method overlap is only flagged when the name is distinctive.
+var hookCommonNames = map[string]bool{
+	"Name":      true,
+	"String":    true,
+	"Reset":     true,
+	"Configure": true,
+	"Install":   true,
+}

@@ -1,0 +1,187 @@
+package lint
+
+// The memoinval analyzer: replay-memo invalidation discipline. The
+// replay splice cache (PR 8, sim/cpu/memo.go) keys its records on a
+// window fingerprint over a fixed set of core/context fields
+// (memoFixedDigest) plus lazy first-touch probes of the memory system.
+// The probed state re-validates at splice time, but the fixed inputs
+// are hashed eagerly — so any exported method that mutates one of them
+// between fingerprinting points must either call the memo-invalidation
+// path (MemoFlush / memoAbortRecording) or carry a written
+// //simlint:memoexempt <reason> explaining why the mutation is safe
+// (typically: the field is folded into every fingerprint, so changing
+// it forces a miss rather than a stale splice).
+//
+// The field set is the checked-in memoManifest (manifest.go), pinned to
+// memoFixedDigest by the manifest-sync test. Writes are traced through
+// the method's same-package call closure: Core.Preempt resets context
+// state via helpers, and those helper writes count against the exported
+// entry point. Only exported methods are entry points — unexported
+// mutators are reachable only through exported ones (or the run loop,
+// which fingerprints around them).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func analyzerMemoinval() *Analyzer {
+	return &Analyzer{
+		Name: "memoinval",
+		Doc:  "exported methods writing replay-memo fingerprint inputs (per the memoManifest) must call the memo-invalidation path or carry //simlint:memoexempt <reason>",
+		Run:  runMemoinval,
+	}
+}
+
+func runMemoinval(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	report := reporter(&diags)
+	manifest, ok := memoManifest[u.PkgPath()]
+	if !ok {
+		return diags
+	}
+	ex := exemptionsFor(u, "memoexempt", report)
+	invalidators := memoInvalidators[u.PkgPath()]
+	decls := funcDecls(u)
+
+	// Resolve the manifest's field names to their types.Var objects.
+	fieldObjs := make(map[*types.Var]string) // obj -> "Type.field"
+	for typeName, fieldNames := range manifest {
+		obj := u.Pkg.Scope().Lookup(typeName)
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		want := make(map[string]bool, len(fieldNames))
+		for _, n := range fieldNames {
+			want[n] = true
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); want[f.Name()] {
+				fieldObjs[f] = typeName + "." + f.Name()
+			}
+		}
+	}
+	if len(fieldObjs) == 0 {
+		return diags
+	}
+
+	for _, fd := range decls {
+		recv := recvBaseName(fd)
+		if recv == "" || !fd.Name.IsExported() {
+			continue
+		}
+		if _, tracked := manifest[recv]; !tracked {
+			continue
+		}
+		closure := callClosure(u, decls, []*ast.FuncDecl{fd})
+		wrote, wrotePos := closureWrites(u, closure, fieldObjs)
+		if wrote == "" {
+			continue
+		}
+		if closureCallsInvalidator(u, closure, invalidators) {
+			continue
+		}
+		if exempted(u, ex, fd.Pos()) {
+			continue
+		}
+		report(fd.Pos(),
+			"memo invalidation: exported method %s.%s writes fingerprint input %s (at %s) without reaching the memo-invalidation path; call MemoFlush or add //simlint:memoexempt <reason>",
+			recv, fd.Name.Name, wrote, u.Fset.Position(wrotePos))
+	}
+	return diags
+}
+
+// closureWrites returns the first manifest field written anywhere in
+// the closure (assignment or ++/--), or "".
+func closureWrites(u *Unit, closure map[*ast.FuncDecl]bool, fieldObjs map[*types.Var]string) (string, token.Pos) {
+	name, pos := "", token.NoPos
+	for fd := range closure {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			var lhss []ast.Expr
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				lhss = n.Lhs
+			case *ast.IncDecStmt:
+				lhss = []ast.Expr{n.X}
+			default:
+				return true
+			}
+			for _, lhs := range lhss {
+				// Unwrap element/deref writes: ctx.regs[r] = v mutates
+				// the regs field just as surely as ctx.regs = nil.
+				for {
+					switch x := lhs.(type) {
+					case *ast.IndexExpr:
+						lhs = x.X
+						continue
+					case *ast.StarExpr:
+						lhs = x.X
+						continue
+					case *ast.ParenExpr:
+						lhs = x.X
+						continue
+					}
+					break
+				}
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := u.Info.Selections[sel]
+				if !ok {
+					continue
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					continue
+				}
+				if fq, tracked := fieldObjs[v]; tracked {
+					// Keep the earliest position for deterministic output.
+					if pos == token.NoPos || sel.Pos() < pos {
+						name, pos = fq, sel.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return name, pos
+}
+
+// closureCallsInvalidator reports whether any function in the closure
+// calls (or references — a deferred method value counts) one of the
+// package's memo invalidators.
+func closureCallsInvalidator(u *Unit, closure map[*ast.FuncDecl]bool, invalidators map[string]bool) bool {
+	if len(invalidators) == 0 {
+		return false
+	}
+	for fd := range closure {
+		// The invalidator itself may be in the closure (MemoFlush calls
+		// helpers): being the invalidator counts as reaching it.
+		if invalidators[fd.Name.Name] && fd.Recv != nil {
+			return true
+		}
+		found := false
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			fn, ok := u.Info.Uses[id].(*types.Func)
+			if ok && fn.Pkg() == u.Pkg && invalidators[fn.Name()] {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

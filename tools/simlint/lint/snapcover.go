@@ -1,0 +1,184 @@
+package lint
+
+// The snapcover analyzer: snapshot coverage. For every struct type in
+// the package that carries a Snapshot()/Restore() pair (Snap()/Restore()
+// also counts — sim/sanitizer uses the short name), every field must be
+// reachable from the pair's same-package call closure — i.e. actually
+// read into the snapshot image or written back by the restore — or
+// carry an explicit //simlint:snapexempt <reason> comment.
+//
+// This is the static guard for the checkpoint/restore bit-identity
+// contract (PR 6): when a later PR adds a field to cpu.Core,
+// mem.PhysMem, kernel.Kernel or any other snapshotted structure and
+// forgets to serialize it, the differential tests only catch the
+// omission if the field happens to perturb a golden run. snapcover
+// catches it at lint time, unconditionally, and forces forgotten-on-
+// purpose fields (host-side wiring like hook closures and back-
+// pointers) to say so in writing.
+//
+// Coverage is computed over the pair's call closure, not just the two
+// method bodies: Core.Snapshot serializes contexts through snapContext,
+// kernels serialize processes through helpers — any same-package
+// function or method reachable from Snapshot/Restore counts. A field
+// reference anywhere in that closure (read or write) marks the field
+// covered; the analyzer does not distinguish the two because restore
+// paths frequently rebuild a field from derived data rather than
+// assigning it verbatim.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func analyzerSnapcover() *Analyzer {
+	return &Analyzer{
+		Name: "snapcover",
+		Doc:  "every field of a struct with a Snapshot()/Restore() pair must be serialized in the snapshot closure or carry //simlint:snapexempt <reason>",
+		Run:  runSnapcover,
+	}
+}
+
+// snapCaptureNames are the method names that mark a type's capture side
+// ("Restore" is always the other half of the pair).
+var snapCaptureNames = []string{"Snapshot", "Snap"}
+
+func runSnapcover(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+	report := reporter(&diags)
+	ex := exemptionsFor(u, "snapexempt", report)
+	decls := funcDecls(u)
+
+	// Index this package's methods by receiver base type name.
+	methods := make(map[string]map[string]*ast.FuncDecl) // type -> method -> decl
+	for _, fd := range decls {
+		recv := recvBaseName(fd)
+		if recv == "" {
+			continue
+		}
+		if methods[recv] == nil {
+			methods[recv] = make(map[string]*ast.FuncDecl)
+		}
+		methods[recv][fd.Name.Name] = fd
+	}
+
+	for _, f := range u.SourceFiles() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkSnapStruct(u, ts, st, methods[ts.Name.Name], decls, ex, report)
+			}
+		}
+	}
+	return diags
+}
+
+// snapField pairs one struct field's type object with the AST position
+// findings anchor to (the field name, or the type expression for an
+// embedded field).
+type snapField struct {
+	v        *types.Var
+	pos      token.Pos
+	embedded bool
+}
+
+func checkSnapStruct(u *Unit, ts *ast.TypeSpec, st *ast.StructType,
+	ms map[string]*ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl,
+	ex map[string]exemption, report func(token.Pos, string, ...interface{})) {
+
+	if ms == nil {
+		return
+	}
+	var roots []*ast.FuncDecl
+	capture := ""
+	for _, name := range snapCaptureNames {
+		if fd, ok := ms[name]; ok {
+			capture = name
+			roots = append(roots, fd)
+			break
+		}
+	}
+	restore, hasRestore := ms["Restore"]
+	if capture == "" || !hasRestore {
+		return
+	}
+	roots = append(roots, restore)
+
+	// Walk the AST field list and the types.Struct layout in parallel:
+	// each unnamed (embedded) entry consumes one types field, each named
+	// entry one per name. This resolves embedded fields' objects without
+	// relying on position heuristics.
+	tn, ok := u.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	s, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var fields []snapField
+	idx := 0
+	for _, fl := range st.Fields.List {
+		if len(fl.Names) == 0 {
+			if idx < s.NumFields() {
+				fields = append(fields, snapField{s.Field(idx), fl.Type.Pos(), true})
+			}
+			idx++
+			continue
+		}
+		for _, name := range fl.Names {
+			if idx < s.NumFields() {
+				fields = append(fields, snapField{s.Field(idx), name.Pos(), false})
+			}
+			idx++
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	fieldSet := make(map[*types.Var]bool, len(fields))
+	for _, fe := range fields {
+		fieldSet[fe.v] = true
+	}
+
+	closure := callClosure(u, decls, roots)
+	covered := make(map[*types.Var]bool)
+	for fd := range closure {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if seln, ok := u.Info.Selections[sel]; ok {
+				if v, ok := seln.Obj().(*types.Var); ok && fieldSet[v] {
+					covered[v] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, fe := range fields {
+		if covered[fe.v] || exempted(u, ex, fe.pos) {
+			continue
+		}
+		kind := "field"
+		if fe.embedded {
+			kind = "embedded field"
+		}
+		report(fe.pos,
+			"snapshot coverage: %s %s.%s is not serialized by %s/Restore; a checkpointed run would silently diverge after restore — serialize it or add //simlint:snapexempt <reason>",
+			kind, ts.Name.Name, fe.v.Name(), capture)
+	}
+}

@@ -1,0 +1,83 @@
+// The enumtotal fixture: a closed enum (manifest key "enumtotal.Kind")
+// and switches that are total, defaulted, partial, exempted, or
+// undecidable. Typechecked under the import path "enumtotal".
+package enumtotal
+
+// Kind is the fixture's closed enum.
+type Kind int
+
+// Kind values. KindAlias shares KindA's value — covering either name
+// covers the value. NumKinds is the sentinel count, typed int, so the
+// analyzer never demands a case for it.
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+
+	KindAlias = KindA
+)
+
+// NumKinds is the open-coded sentinel.
+const NumKinds = 3
+
+// Total covers every declared value: clean.
+func Total(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return ""
+}
+
+// Defaulted decides the remainder explicitly: clean.
+func Defaulted(k Kind) bool {
+	switch k {
+	case KindA:
+		return true
+	default:
+		return false
+	}
+}
+
+// Partial silently ignores two values. The single case names the value
+// through its alias: covering KindAlias covers KindA, so only KindB and
+// KindC are reported missing.
+func Partial(k Kind) bool {
+	switch k { // want `enum totality: switch over enumtotal\.Kind does not handle KindB, KindC`
+	case KindAlias:
+		return true
+	}
+	return false
+}
+
+// Exempt samples deliberately, in writing.
+func Exempt(k Kind) bool {
+	//simlint:enumexempt fixture: samples only KindA by design
+	switch k {
+	case KindA:
+		return true
+	}
+	return false
+}
+
+// Dynamic has a non-constant case: totality is undecidable, skipped.
+func Dynamic(k, other Kind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}
+
+// Untyped switches over a plain int, which is not a manifest enum.
+func Untyped(v int) bool {
+	switch v {
+	case 0:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// The hookpair fixture: a hook interface (hookManifest entry
+// {"hookpair", "Hook"}) and implementations that are complete,
+// partial, signature-drifted, delegating, exempted, or innocently
+// name-colliding. Typechecked under the import path "hookpair".
+package hookpair
+
+// Hook is the fixture hook interface. Reset is deliberately one of the
+// stoplisted generic names (hookCommonNames).
+type Hook interface {
+	OnFetch(pc int)
+	OnSquash(n int)
+	Reset()
+}
+
+// Full implements the complete hook set: clean.
+type Full struct {
+	fetches, squashes int
+}
+
+func (f *Full) OnFetch(pc int) { f.fetches++ }
+func (f *Full) OnSquash(n int) { f.squashes += n }
+func (f *Full) Reset()         { *f = Full{} }
+
+// Partial handles two of the three hooks.
+type Partial struct{} // want `hook completeness: Partial handles OnFetch, OnSquash of the hookpair\.Hook hook set but is missing Reset`
+
+func (p *Partial) OnFetch(pc int) {}
+func (p *Partial) OnSquash(n int) {}
+
+// Delegate embeds a full implementation; the promoted methods complete
+// the set, and its own override keeps the interface satisfied.
+type Delegate struct {
+	Full
+	overrides int
+}
+
+func (d *Delegate) OnSquash(n int) {
+	d.overrides++
+	d.Full.OnSquash(n)
+}
+
+// Drifted declares all three hook names, but OnSquash's signature has
+// drifted: the interface assertion fails at runtime.
+type Drifted struct{} // want `hook completeness: Drifted declares the full hookpair\.Hook hook set \(OnFetch, OnSquash, Reset\) but does not satisfy the interface`
+
+func (d *Drifted) OnFetch(pc int)   {}
+func (d *Drifted) OnSquash(n int64) {}
+func (d *Drifted) Reset()           {}
+
+// Lone has a single distinctive hook name: that is evidence of an
+// intended (and incomplete) implementation.
+type Lone struct{} // want `hook completeness: Lone handles OnFetch of the hookpair\.Hook hook set but is missing OnSquash, Reset`
+
+func (l *Lone) OnFetch(pc int) {}
+
+// Counter overlaps only on Reset, a stoplisted generic name: not
+// evidence of an intended Hook implementation, so it is clean.
+type Counter struct {
+	n int
+}
+
+func (c *Counter) Reset() { c.n = 0 }
+
+// Waived is a deliberate partial implementation with a written reason.
+//
+//simlint:hookexempt fixture: this sampler observes fetches only, by design
+type Waived struct{}
+
+func (w *Waived) OnFetch(pc int) {}
+func (w *Waived) OnSquash(n int) {}

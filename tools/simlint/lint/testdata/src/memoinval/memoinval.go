@@ -1,0 +1,54 @@
+// The memoinval fixture: a miniature replay-memo owner. The fixture
+// manifest entry (manifest.go) declares Machine.clock and Machine.seed
+// as fingerprint inputs and Flush as the invalidation path; the
+// harness typechecks this package under the import path "memoinval".
+package memoinval
+
+// Machine mimics cpu.Core: clock and seed feed the (imaginary) window
+// fingerprint; memo is the cache the invalidator drops.
+type Machine struct {
+	clock uint64
+	seed  uint64
+	memo  map[uint64]uint64
+}
+
+// Flush is the memo-invalidation path.
+func (m *Machine) Flush() { m.memo = nil }
+
+// Tick writes a fingerprint input and invalidates directly: clean.
+func (m *Machine) Tick() {
+	m.clock++
+	m.Flush()
+}
+
+// Reseed writes through one helper and invalidates through another:
+// the call-closure walk must see both.
+func (m *Machine) Reseed(v uint64) {
+	m.setSeed(v)
+	m.drop()
+}
+
+func (m *Machine) setSeed(v uint64) { m.seed = v }
+func (m *Machine) drop()            { m.Flush() }
+
+// SkipAhead writes a fingerprint input and never invalidates.
+func (m *Machine) SkipAhead(n uint64) { // want `memo invalidation: exported method Machine\.SkipAhead writes fingerprint input Machine\.clock`
+	m.clock += n
+}
+
+// SetSeedRaw is a reviewed exception with a written reason.
+//
+//simlint:memoexempt fixture: seed is folded into every fingerprint, so the write forces a miss
+func (m *Machine) SetSeedRaw(v uint64) { m.seed = v }
+
+// advance is unexported: not an entry point, reachable only through
+// exported methods that carry their own obligations.
+func (m *Machine) advance() { m.clock++ }
+
+// Stat only reads fingerprint inputs: clean.
+func (m *Machine) Stat() uint64 { return m.clock + m.seed }
+
+// Burn reaches a tracked write through the unexported helper chain.
+func (m *Machine) Burn() { // want `memo invalidation: exported method Machine\.Burn writes fingerprint input Machine\.clock`
+	m.advance()
+}

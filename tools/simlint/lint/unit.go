@@ -1,14 +1,16 @@
-package main
+package lint
 
-// The cmd/go vet-tool protocol, stdlib-only.
+// The cmd/go vet-tool protocol, stdlib-only (moved from the original
+// tools/determlint unitchecker).
 //
 // For each package, cmd/go writes a JSON config describing the unit of
 // work (file list, import map, export-data locations) and invokes the
 // tool with the config path as its sole argument. The tool typechecks
-// the package against the compiler's export data, runs its checks,
-// prints findings to stderr as file:line:col: message, writes its facts
-// file (empty — these checks are intraprocedural), and exits 2 when it
-// found anything.
+// the package against the compiler's export data, runs the enabled
+// analyzers, prints findings to stderr as file:line:col: message,
+// writes its facts file (empty — all simlint analyzers are
+// intraprocedural within a package), and exits 2 when it found
+// anything.
 
 import (
 	"crypto/sha256"
@@ -23,9 +25,9 @@ import (
 	"os"
 )
 
-// unitConfig mirrors the fields of cmd/go's vet config that this tool
+// UnitConfig mirrors the fields of cmd/go's vet config that this tool
 // consumes (the file carries more; unknown fields are ignored).
-type unitConfig struct {
+type UnitConfig struct {
 	ID          string
 	Compiler    string
 	Dir         string
@@ -37,18 +39,20 @@ type unitConfig struct {
 	VetxOutput  string
 }
 
-func runUnit(cfgPath string) ([]diagnostic, error) {
+// RunUnit loads one vet unit config, typechecks its package and runs
+// the given analyzers over it. Diagnostics go to stderr in vet format.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, err
 	}
-	var cfg unitConfig
+	var cfg UnitConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
 	}
 	if cfg.VetxOnly {
 		// Dependency of a listed package: cmd/go only wants our facts
-		// (none — the checks are intraprocedural), not diagnostics.
+		// (none — the analyzers are intraprocedural), not diagnostics.
 		if cfg.VetxOutput != "" {
 			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 				return nil, err
@@ -60,7 +64,8 @@ func runUnit(cfgPath string) ([]diagnostic, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		// ParseComments: the exemption grammar lives in comments.
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -93,16 +98,18 @@ func runUnit(cfgPath string) ([]diagnostic, error) {
 
 	info := newInfo()
 	tc := types.Config{Importer: imp}
-	if _, err := tc.Check(cfg.ImportPath, fset, files, info); err != nil {
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
 		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
 	}
 
-	diags := runChecks(fset, files, info, cfg.ImportPath)
+	u := &Unit{Fset: fset, Files: files, Info: info, Pkg: pkg, Path: cfg.ImportPath}
+	diags := Run(u, analyzers)
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.pos), d.msg)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Msg)
 	}
 	// cmd/go caches a facts file per package and feeds it to dependents;
-	// it must exist even though these checks export no facts.
+	// it must exist even though these analyzers export no facts.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			return nil, err
@@ -111,38 +118,46 @@ func runUnit(cfgPath string) ([]diagnostic, error) {
 	return diags, nil
 }
 
-func newInfo() *types.Info {
-	return &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
-}
-
 type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// printVersion answers the -V=full handshake. The format is the one
+// PrintVersion answers the -V=full handshake. The format is the one
 // cmd/go's tool-ID scanner accepts: name, "version", a version string
 // whose buildID term fingerprints the binary.
-func printVersion() {
+func PrintVersion(toolName string) {
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "determlint:", err)
+		fmt.Fprintln(os.Stderr, toolName+":", err)
 		os.Exit(1)
 	}
 	f, err := os.Open(exe)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "determlint:", err)
+		fmt.Fprintln(os.Stderr, toolName+":", err)
 		os.Exit(1)
 	}
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
-		fmt.Fprintln(os.Stderr, "determlint:", err)
+		fmt.Fprintln(os.Stderr, toolName+":", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s version devel determlint buildID=%02x\n", exe, h.Sum(nil))
+	fmt.Printf("%s version devel %s buildID=%02x\n", exe, toolName, h.Sum(nil))
+}
+
+// VetFlagDefs renders the -flags answer: the analyzer enable flags and
+// the output-mode flags cmd/go may pass through from the `go vet`
+// command line (e.g. `go vet -vettool=bin/simlint -snapcover=false`).
+func VetFlagDefs() string {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []flagDef
+	for _, a := range All() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: "enable the " + a.Name + " analyzer"})
+	}
+	out, _ := json.Marshal(defs)
+	return string(out)
 }
